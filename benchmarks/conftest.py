@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Profile selection: set ``REPRO_PROFILE=paper`` for the full ten-design
+reproduction (minutes); the default ``quick`` profile runs a four-design
+subset sized for CI.
+
+The expensive artifacts (designs, baseline flows, trained evaluator)
+are cached in :mod:`repro.experiments.common`'s process-level context,
+so the benchmark numbers measure *regeneration* of each table given the
+shared pipeline, matching how the paper's tables share one trained
+model.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, get_context
+
+
+@pytest.fixture(scope="session")
+def config():
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def context(config):
+    return get_context(config)
+
+
+@pytest.fixture(scope="session")
+def trained_context(context):
+    """Context with the evaluator already trained (shared warm-up)."""
+    context.model()
+    return context

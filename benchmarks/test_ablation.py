@@ -1,0 +1,31 @@
+"""Bench: ablation of TSteiner's design choices (DESIGN.md §6).
+
+Compares the shipped configuration against: accumulated-Adam updates,
+pure evaluator acceptance (the paper's literal Algorithm 1), disabled
+backtracking, and LSE-temperature extremes.
+"""
+
+from repro.experiments import ablation
+
+
+def test_ablation_variants(benchmark, config, trained_context):
+    result = benchmark.pedantic(ablation.run, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(ablation.format_result(result))
+
+    by_name = {r.variant: r for r in result.rows}
+    assert set(by_name) == {
+        "paper-SO+hybrid",
+        "adam+hybrid",
+        "evaluator-only",
+        "no-backtrack",
+        "gamma=1",
+        "gamma=50",
+    }
+    # Hybrid-validated variants can never end worse than baseline.
+    for name in ("paper-SO+hybrid", "adam+hybrid", "gamma=1", "gamma=50", "no-backtrack"):
+        assert by_name[name].wns_ratio <= 1.0 + 1e-9
+        assert by_name[name].tns_ratio <= 1.0 + 1e-9
+    # Every variant actually iterated.
+    assert all(r.iterations > 0 for r in result.rows)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 2 (TNS ratio distribution under random moves).
+
+Shape targets: random disturbance has a *real* effect on sign-off TNS
+(nonzero spread) and does not help on average (mean ratio >= ~1.0) —
+the paper's motivation for guided refinement.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2_random_disturbance_distribution(benchmark, config, context):
+    result = benchmark.pedantic(fig2.run, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(fig2.format_result(result))
+
+    arr = result.all_ratios()
+    assert arr.size >= 3
+    # Disturbance visibly moves sign-off TNS...
+    assert result.spread() > 0.0
+    # ...but does not improve it on average.
+    assert result.mean_ratio() >= 0.98

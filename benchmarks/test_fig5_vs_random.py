@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 5 (TSteiner vs expected random-move ratios).
+
+Shape target: TSteiner's mean WNS/TNS ratios sit at or below 1.0 while
+the random-move expectation sits at or above it — guided refinement
+beats unguided disturbance.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_tsteiner_vs_random(benchmark, config, trained_context):
+    result = benchmark.pedantic(fig5.run, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(fig5.format_result(result))
+
+    ts_wns = result.mean("tsteiner_wns")
+    ts_tns = result.mean("tsteiner_tns")
+    rnd_wns = result.mean("random_wns")
+    rnd_tns = result.mean("random_tns")
+
+    assert ts_wns <= 1.0 + 1e-9
+    assert ts_tns <= 1.0 + 1e-9
+    # Guided refinement strictly beats the random expectation.
+    assert ts_wns < rnd_wns
+    assert ts_tns < rnd_tns

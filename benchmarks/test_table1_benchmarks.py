@@ -1,0 +1,27 @@
+"""Bench: regenerate Table I (benchmark statistics)."""
+
+from repro.experiments import table1
+
+
+def test_table1_benchmark_statistics(benchmark, config, context):
+    result = benchmark.pedantic(table1.run, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(table1.format_result(result))
+
+    # Shape checks against the paper's table structure.
+    assert len(result.rows) == len(config.designs)
+    for row in result.rows:
+        assert row.cell_nodes > 0
+        assert row.steiner_nodes > 0
+        assert row.net_edges > row.cell_nodes  # Steiner edges add on top
+        assert row.endpoints > 0
+    # Train/test totals partition the designs.
+    assert (
+        result.total_train.cell_nodes + result.total_test.cell_nodes
+        == sum(r.cell_nodes for r in result.rows)
+    )
+    # Relative scale ordering (jpeg_encoder largest when present).
+    sizes = {r.name: r.cell_nodes for r in result.rows}
+    if "jpeg_encoder" in sizes and "spm" in sizes:
+        assert sizes["jpeg_encoder"] > sizes["spm"]

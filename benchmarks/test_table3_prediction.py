@@ -1,0 +1,27 @@
+"""Bench: regenerate Table III (arrival-time prediction R²).
+
+Shape targets: train-average R² high (paper 0.9959 all-pins), held-out
+average positive and high-but-lower (paper 0.9280), endpoints-only
+scores broadly tracking the all-pins ones.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_prediction_r2(benchmark, config, trained_context):
+    result = benchmark.pedantic(table3.run, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(table3.format_result(result))
+
+    train_all = result.average("arrival_all", train=True)
+    test_all = result.average("arrival_all", train=False)
+
+    assert train_all > 0.6, "training designs should fit well"
+    assert test_all > 0.3, "held-out designs should still predict"
+    # Endpoint-only R² is harsher on tiny designs (endpoint arrivals
+    # cluster, shrinking the variance denominator of Eq. (10)), so it is
+    # reported but only loosely bounded here.
+    assert result.average("arrival_ends", train=False) > -2.0
+    for scores in result.scores.values():
+        assert scores["arrival_all"] <= 1.0 + 1e-9

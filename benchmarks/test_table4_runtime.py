@@ -1,0 +1,26 @@
+"""Bench: regenerate Table IV (runtime breakdown).
+
+Shape targets: TSteiner adds a bounded overhead to the total (paper
+1.32x), global routing stays comparable (paper 1.017x), and detailed
+routing does not blow up (paper 0.934x — faster thanks to fewer DRVs;
+on designs with zero baseline DRVs the surrogate has nothing to speed
+up, so we only bound the regression).
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_runtime_breakdown(benchmark, config, trained_context):
+    result = benchmark.pedantic(table4.run, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(table4.format_result(result))
+    avg = result.ratio_averages()
+
+    for row in result.rows:
+        assert row.base_total > 0
+        assert row.opt_tsteiner > 0  # the stage actually ran
+    # Global routing time comparable between arms.
+    assert avg["groute"] < 3.0
+    # Detailed routing must not regress dramatically.
+    assert avg["droute"] < 3.0

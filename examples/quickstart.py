@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full physical-design flow on one benchmark.
+
+Generates the ``APU`` benchmark, places it, builds Steiner trees, runs
+global + detailed routing and sign-off STA, and prints the headline
+timing/routing metrics — the baseline arm of the paper's Table II.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.flow import prepare_design, run_routing_flow
+
+
+def main() -> None:
+    print("Preparing design 'APU' (generate -> place -> Steiner trees)...")
+    netlist, forest = prepare_design("APU")
+    print(f"  {netlist}")
+    print(f"  die: {netlist.die_width:.0f} x {netlist.die_height:.0f} um")
+    print(f"  Steiner forest: {forest.num_trees} trees, "
+          f"{forest.num_steiner_points} movable Steiner points, "
+          f"wirelength {forest.total_wirelength():.0f} um")
+
+    print("\nRouting and timing (global route -> detailed route -> sign-off STA)...")
+    result = run_routing_flow(netlist, forest)
+
+    print(f"  sign-off WNS : {result.wns:9.3f} ns")
+    print(f"  sign-off TNS : {result.tns:9.3f} ns")
+    print(f"  violations   : {result.num_violations} / {len(netlist.endpoints())} endpoints")
+    print(f"  routed WL    : {result.wirelength:9.0f} um")
+    print(f"  vias         : {result.num_vias}")
+    print(f"  DRVs         : {result.num_drvs}")
+    print(f"  runtimes (s) : " + ", ".join(f"{k}={v:.2f}" for k, v in result.runtimes.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml because offline environments without the
+``wheel`` package cannot perform PEP 660 editable installs; with this
+shim ``pip install -e .`` falls back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "TSteiner: concurrent sign-off timing optimization via deep "
+        "Steiner point refinement (DAC 2023 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,41 @@
+"""TSteiner — concurrent sign-off timing optimization via deep Steiner
+point refinement (DAC 2023 reproduction).
+
+Public API tour
+---------------
+* :func:`repro.flow.prepare_design` — generate, place and Steinerize a
+  named benchmark;
+* :func:`repro.flow.run_routing_flow` — route + sign off, optionally
+  with TSteiner refinement;
+* :class:`repro.timing_model.TimingEvaluator` /
+  :func:`repro.timing_model.train_evaluator` — the GNN sign-off timing
+  evaluator;
+* :class:`repro.core.TSteiner` — the refinement optimizer (Algorithm 1);
+* :class:`repro.sta.STAEngine` — the sign-off STA oracle.
+
+See ``examples/quickstart.py`` for a five-minute tour and DESIGN.md for
+the full system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro import autodiff
+from repro import core
+from repro import flow
+from repro import netlist
+from repro import pdk
+from repro import sta
+from repro import steiner
+from repro import timing_model
+
+__all__ = [
+    "autodiff",
+    "core",
+    "flow",
+    "netlist",
+    "pdk",
+    "sta",
+    "steiner",
+    "timing_model",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Command-line entry point: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro table1            # one artifact
+    python -m repro all               # every table and figure
+    python -m repro table2 --profile full
+
+Profiles: quick (default, four designs), full (ten designs at half
+scale), paper (the complete reproduction — slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ablation, fig2, fig5, table1, table2, table3, table4
+from repro.experiments.common import ExperimentConfig
+
+_ARTIFACTS = {
+    "table1": (table1.run, table1.format_result),
+    "table2": (table2.run, table2.format_result),
+    "table3": (table3.run, table3.format_result),
+    "table4": (table4.run, table4.format_result),
+    "fig2": (fig2.run, fig2.format_result),
+    "fig5": (fig5.run, fig5.format_result),
+    "ablation": (ablation.run, ablation.format_result),
+}
+
+_PROFILES = {
+    "quick": ExperimentConfig.quick,
+    "full": ExperimentConfig.full,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate TSteiner paper artifacts (tables and figures).",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_ARTIFACTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(_PROFILES),
+        default="quick",
+        help="experiment scale profile (default: quick)",
+    )
+    args = parser.parse_args(argv)
+    config = _PROFILES[args.profile]()
+
+    names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        run, fmt = _ARTIFACTS[name]
+        print(f"=== {name} ({args.profile} profile) ===")
+        print(fmt(run(config)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage replaces PyTorch for this reproduction.  It provides a
+``Tensor`` type with a dynamic computation graph, a functional layer with
+the primitives message-passing GNNs need (``gather``, ``segment_sum``,
+``logsumexp``), small neural-network building blocks and the optimizers
+used by both model training and the TSteiner refinement loop.
+
+Only the features the paper's pipeline exercises are implemented, but
+those are implemented completely: broadcasting, reduction over axes,
+fancy row indexing with repeated indices (scatter-add on backward) and
+gradient accumulation through arbitrary DAGs.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, tensor
+from repro.autodiff import functional
+from repro.autodiff import nn
+from repro.autodiff import optim
+from repro.autodiff import init
+
+__all__ = ["Tensor", "tensor", "no_grad", "functional", "nn", "optim", "init"]

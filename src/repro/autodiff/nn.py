@@ -1,0 +1,162 @@
+"""Minimal neural-network module system on top of the autodiff tensor.
+
+Mirrors the small subset of ``torch.nn`` the TSteiner evaluator needs:
+``Linear``, ``LayerNorm``, ``MLP`` with configurable activations, and a
+``Module`` base class with recursive parameter collection and state-dict
+save/load for model checkpointing between training and refinement runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import init as _init
+from repro.autodiff.tensor import Tensor
+
+Activation = Callable[[Tensor], Tensor]
+
+ACTIVATIONS: Dict[str, Activation] = {
+    "relu": lambda x: x.relu(),
+    "leaky_relu": lambda x: x.leaky_relu(0.1),
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+}
+
+
+class Module:
+    """Base class; subclasses register parameters and submodules as attributes."""
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors, depth-first, deterministic order."""
+        params: List[Tensor] = []
+        for _, value in self._children():
+            if isinstance(value, Tensor):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in self._children():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Tensor):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+
+    def _children(self) -> Iterator[Tuple[str, object]]:
+        for name in sorted(vars(self)):
+            value = vars(self)[name]
+            if isinstance(value, (Tensor, Module)):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, (Tensor, Module)):
+                        yield f"{name}[{i}]", item
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}")
+            p.data = np.array(state[name], dtype=np.float64, copy=True)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(_init.xavier_uniform((in_features, out_features), rng), requires_grad=True)
+        self.bias = Tensor(_init.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5) -> None:
+        self.features = features
+        self.eps = eps
+        self.gamma = Tensor(np.ones(features), requires_grad=True)
+        self.beta = Tensor(np.zeros(features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a hidden activation on every layer but the last."""
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "leaky_relu",
+        final_activation: str = "identity",
+        layer_norm: bool = False,
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self.layers: List[Linear] = [
+            Linear(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+        ]
+        self.norms: List[LayerNorm] = (
+            [LayerNorm(dims[i + 1]) for i in range(len(dims) - 2)] if layer_norm else []
+        )
+        self.activation = ACTIVATIONS[activation]
+        self.final_activation = ACTIVATIONS[final_activation]
+        self._use_norm = layer_norm
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers[:-1]):
+            x = layer(x)
+            if self._use_norm:
+                x = self.norms[i](x)
+            x = self.activation(x)
+        return self.final_activation(self.layers[-1](x))
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for m in self.modules:
+            x = m(x)
+        return x

@@ -1,0 +1,25 @@
+"""TSteiner core: the paper's primary contribution.
+
+* :mod:`repro.core.penalty` — smoothed WNS/TNS penalty (Eq. (4)-(6));
+* :mod:`repro.core.adaptive` — adaptive stepsize scheme (Eq. (8)-(9));
+* :mod:`repro.core.refine` — concurrent Steiner point refinement
+  (Algorithm 1) with the per-step stochastic optimizer of Eq. (7);
+* :mod:`repro.core.tsteiner` — user-facing facade tying the pieces to
+  a netlist + forest + trained evaluator.
+"""
+
+from repro.core.penalty import PenaltyConfig, hard_metrics, smoothed_penalty
+from repro.core.adaptive import adaptive_theta
+from repro.core.refine import RefinementConfig, RefinementResult, refine
+from repro.core.tsteiner import TSteiner
+
+__all__ = [
+    "PenaltyConfig",
+    "smoothed_penalty",
+    "hard_metrics",
+    "adaptive_theta",
+    "RefinementConfig",
+    "RefinementResult",
+    "refine",
+    "TSteiner",
+]

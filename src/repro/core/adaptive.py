@@ -1,0 +1,55 @@
+"""Adaptive stepsize scheme (Eq. (8)-(9) of the paper).
+
+Designs span four orders of magnitude in size and gradient scale; a
+fixed stepsize that works for ``spm`` would be noise on
+``jpeg_encoder``.  The paper's scheme probes the gradient field once:
+
+1. evaluate the gradient ``g`` at the initial coordinates ``X``;
+2. take the probe move ``X' = X + alpha * g`` (Eq. (8));
+3. evaluate ``g'`` at ``X'``;
+4. return ``theta = ||X - X'||_2 / ||g - g'||_2`` (Eq. (9)),
+
+a Barzilai-Borwein-style secant estimate of the inverse local
+curvature, automatically matched to each design's scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+GradientFn = Callable[[np.ndarray], np.ndarray]
+
+
+def adaptive_theta(
+    coords: np.ndarray,
+    gradient_fn: GradientFn,
+    alpha: float = 5.0,
+    fallback: float = 1.0,
+    max_theta: float = 1e4,
+) -> float:
+    """Compute the adaptive stepsize for one design.
+
+    ``gradient_fn`` maps a flat (S, 2) coordinate matrix to the penalty
+    gradient of the same shape.  ``alpha`` is the probe scale
+    (paper default 5.0).  Degenerate cases (zero gradient, identical
+    probe gradient) fall back to ``fallback``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.size == 0:
+        return fallback
+    g0 = np.asarray(gradient_fn(coords), dtype=np.float64)
+    g0_norm = float(np.linalg.norm(g0))
+    if not np.isfinite(g0_norm) or g0_norm < 1e-15:
+        return fallback
+    probe = coords + alpha * g0  # Eq. (8)
+    g1 = np.asarray(gradient_fn(probe), dtype=np.float64)
+    dg_norm = float(np.linalg.norm(g0 - g1))
+    dx_norm = float(np.linalg.norm(coords - probe))  # == alpha * g0_norm
+    if not np.isfinite(dg_norm) or dg_norm < 1e-15:
+        return fallback
+    theta = dx_norm / dg_norm  # Eq. (9)
+    if not np.isfinite(theta) or theta <= 0:
+        return fallback
+    return float(min(theta, max_theta))

@@ -1,0 +1,427 @@
+"""Concurrent Steiner point refinement — Algorithm 1 of the paper.
+
+The loop mirrors the pseudocode line for line:
+
+* initial evaluated WNS/TNS become ``init_*`` and ``best_*`` (lines 1-2);
+* the adaptive stepsize seeds the stochastic optimizer (lines 3-5);
+* each iteration applies the Eq. (7) update to all Steiner points
+  *concurrently* (line 7), evaluates the candidate with the frozen
+  GNN evaluator (line 8), and accepts it when either evaluated metric
+  improves, reverting otherwise (lines 9-14);
+* the loop breaks at ``N`` iterations (line 16) or when either metric
+  has improved by the converge ratio ``mu`` (line 19);
+* from iteration 5 onward the penalty weights escalate by 1 % per
+  iteration (Section IV-A), sharpening the objective once the easy
+  gains are taken;
+* every candidate is clamped to the routing-grid boundary, and the
+  per-iteration displacement is capped by the GCell dimensions
+  ("we constrain the largest moving distance according to the width
+  and length of the global routing grid graph").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.optim import AccumulatingSO, PaperSO
+from repro.autodiff.tensor import Tensor
+from repro.core.adaptive import adaptive_theta
+from repro.core.penalty import PenaltyConfig, hard_metrics, smoothed_penalty
+from repro.timing_model.graph import TimingGraph
+from repro.timing_model.model import TimingEvaluator
+
+
+@dataclass
+class RefinementConfig:
+    """Algorithm 1 hyper-parameters (paper Section IV-A defaults)."""
+
+    max_iterations: int = 50  # N
+    converge_ratio: float = 0.1  # mu
+    alpha: float = 5.0  # probe scale for adaptive theta
+    beta1: float = 0.9
+    beta2: float = 0.999
+    # Eq. (7)'s epsilon.  With per-step moments the update degenerates
+    # to theta*(1-b1)/sqrt(1-b2)*sign(g) wherever |g| >> eps, moving
+    # *every* point the same distance regardless of how critical it is.
+    # A larger eps keeps points with tiny gradients nearly still while
+    # critical points take full steps — essential for the concurrent
+    # update to be accepted by the evaluator.
+    eps: float = 1e-2
+    penalty: PenaltyConfig = field(default_factory=PenaltyConfig)
+    escalation_start: int = 5
+    escalation_rate: float = 1.01  # +1 % per iteration
+    move_limit_gcells: float = 1.0  # per-iteration displacement cap
+    optimizer: str = "paper"  # "paper" (Eq. 7) or "adam" (ablation)
+    # Backtracking is an addition over the paper's pseudocode: a
+    # rejected candidate leaves coordinates unchanged, so without it
+    # Algorithm 1 regenerates the same rejected move forever once theta
+    # overshoots.  Shrinking theta on rejection restores progress while
+    # preserving the accept/revert semantics.  Set to 1.0 to disable
+    # (the ablation bench measures the difference).
+    backtrack: float = 0.7
+    min_theta: float = 1e-4
+    expand_on_accept: float = 1.05  # gentle re-growth, capped at theta0
+    # Validation mode.  "evaluator" is the paper's literal Algorithm 1:
+    # acceptance judged solely by the GNN evaluator.  "hybrid" keeps
+    # evaluator-driven gradients and per-step acceptance but, every
+    # ``validate_every`` accepted steps, re-times the candidate with a
+    # fast routing+STA probe and reverts if the *real* metrics
+    # regressed — guarding against the evaluator being over-optimized
+    # into regions where its own error masquerades as improvement.
+    acceptance: str = "hybrid"
+    validate_every: int = 5
+    # Validation acceptance rule: "penalty" scores real metrics with the
+    # Eq. (6) weights (|lambda_w|*WNS + |lambda_t|*TNS must improve), so a
+    # WNS gain cannot silently sacrifice an outsized amount of TNS;
+    # "either" mirrors Algorithm 1's line-9 OR-rule.
+    validation_rule: str = "penalty"
+    # Fraction of Steiner points moved per iteration, chosen by gradient
+    # magnitude (criticality).  1.0 reproduces Eq. (7)'s move-everything
+    # semantics; smaller fractions concentrate the move on critical
+    # points, which raises the real-acceptance rate of validated steps.
+    move_fraction: float = 1.0
+    # Proposal schedule for hybrid mode: after each validated revert the
+    # loop rotates to the next (move_fraction, theta_scale) profile, so
+    # rejected dense moves are followed by sparser, smaller, more
+    # surgical candidates — mirroring how greedy per-point search finds
+    # the improving moves dense concurrent steps miss.
+    proposal_schedule: Tuple[Tuple[float, float], ...] = (
+        (1.0, 1.0),
+        (0.3, 0.5),
+        (0.08, 0.3),
+        (0.02, 0.15),
+    )
+    # Oracle-polish stage (hybrid mode only): after the concurrent
+    # gradient phase, a budgeted per-point local search moves the
+    # highest-gradient Steiner points one at a time along their negative
+    # gradient direction, accepting only oracle-validated improvements.
+    # The evaluator supplies criticality ranking and direction; the
+    # oracle guarantees the harvest is real.  Set to 0 to disable
+    # (recovering the pure concurrent loop for the ablation bench).
+    polish_probes: int = 48
+    polish_top_k: int = 24
+    polish_steps: Tuple[float, ...] = (0.5, 1.0, 2.0)  # in GCell units
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of one refinement run."""
+
+    coords: np.ndarray  # best flat Steiner coordinates
+    init_wns: float
+    init_tns: float
+    best_wns: float
+    best_tns: float
+    iterations: int
+    theta: float
+    accepted: int
+    history: List[Tuple[float, float]] = field(default_factory=list)
+    validations: int = 0  # oracle probes run (hybrid mode)
+    validated_reverts: int = 0  # probes that rejected the candidate
+
+    @property
+    def wns_improvement(self) -> float:
+        """Relative predicted-WNS improvement (positive is better)."""
+        if abs(self.init_wns) < 1e-12:
+            return 0.0
+        return (self.init_wns - self.best_wns) / self.init_wns
+
+    @property
+    def tns_improvement(self) -> float:
+        if abs(self.init_tns) < 1e-12:
+            return 0.0
+        return (self.init_tns - self.best_tns) / self.init_tns
+
+
+class _Oracle:
+    """Caches the evaluator forward/backward machinery for one design."""
+
+    def __init__(self, model: TimingEvaluator, graph: TimingGraph) -> None:
+        self.model = model
+        self.graph = graph
+        self.endpoints = graph.endpoints
+        self.required = graph.required
+
+    def gradient(self, coords: np.ndarray, pcfg: PenaltyConfig) -> Tuple[np.ndarray, float, float]:
+        """(dP/dcoords, evaluated WNS, evaluated TNS) at ``coords``."""
+        t_coords = Tensor(coords, requires_grad=True)
+        out = self.model(self.graph, t_coords)
+        penalty, _, _ = smoothed_penalty(out["arrival"], self.endpoints, self.required, pcfg)
+        penalty.backward()
+        grad = t_coords.grad if t_coords.grad is not None else np.zeros_like(coords)
+        wns, tns, _ = hard_metrics(out["arrival"].numpy(), self.endpoints, self.required)
+        return np.asarray(grad, dtype=np.float64), wns, tns
+
+    def evaluate(self, coords: np.ndarray) -> Tuple[float, float]:
+        arrival = self.model.predict_arrivals(self.graph, coords)
+        wns, tns, _ = hard_metrics(arrival, self.endpoints, self.required)
+        return wns, tns
+
+
+Validator = Callable[[np.ndarray], Tuple[float, float]]
+
+
+def refine(
+    model: TimingEvaluator,
+    graph: TimingGraph,
+    initial_coords: np.ndarray,
+    config: Optional[RefinementConfig] = None,
+    clamp_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    validator: Optional[Validator] = None,
+) -> RefinementResult:
+    """Run Algorithm 1; returns the best coordinates found.
+
+    ``clamp_fn`` clamps candidate coordinates to the grid boundary
+    (typically ``forest.clamp_coords``); identity when omitted.
+    ``validator`` maps coordinates to real (WNS, TNS) — required for
+    ``acceptance="hybrid"``, ignored in ``"evaluator"`` mode.
+    """
+    cfg = config or RefinementConfig()
+    coords = np.asarray(initial_coords, dtype=np.float64).reshape(-1, 2).copy()
+    if coords.shape[0] != graph.num_steiner:
+        raise ValueError(
+            f"coordinate count {coords.shape[0]} does not match the graph's "
+            f"{graph.num_steiner} Steiner nodes"
+        )
+    clamp = clamp_fn or (lambda c: c)
+    oracle = _Oracle(model, graph)
+    use_validator = cfg.acceptance == "hybrid" and validator is not None
+
+    if coords.size == 0:
+        wns, tns = oracle.evaluate(coords)
+        return RefinementResult(coords, wns, tns, wns, tns, 0, 0.0, 0)
+
+    pcfg = cfg.penalty
+
+    # Lines 1-2: initial evaluated metrics.
+    init_wns, init_tns = oracle.evaluate(coords)
+    best_wns, best_tns = init_wns, init_tns
+
+    # Line 3: adaptive stepsize (Eq. 8-9).
+    theta = adaptive_theta(
+        coords,
+        lambda c: oracle.gradient(clamp(c), pcfg)[0],
+        alpha=cfg.alpha,
+        fallback=graph.netlist.technology.gcell_size * 0.1,
+    )
+
+    # Line 5: optimizer.
+    if cfg.optimizer == "paper":
+        so = PaperSO(theta, cfg.beta1, cfg.beta2, cfg.eps)
+    elif cfg.optimizer == "adam":
+        so = AccumulatingSO(theta, cfg.beta1, cfg.beta2, cfg.eps)
+    else:
+        raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+    move_cap = cfg.move_limit_gcells * graph.netlist.technology.gcell_size
+    best_coords = coords.copy()
+    history: List[Tuple[float, float]] = []
+    accepted = 0
+    t = 0
+
+    # Hybrid-mode real anchors.
+    validations = 0
+    validated_reverts = 0
+    pending_accepts = 0
+    real_wns = real_tns = None
+    real_coords = coords.copy()
+    prop_idx = 0
+    schedule: Sequence[Tuple[float, float]] = cfg.proposal_schedule or ((cfg.move_fraction, 1.0),)
+    if use_validator:
+        real_wns, real_tns = validator(coords)
+        validations += 1
+
+    def validate_candidate() -> None:
+        """Probe the real flow; keep or revert to the last real anchor.
+
+        Candidates are validated *post-rounding* so the probe times the
+        byte-identical geometry the production flow will route — the
+        0.01 um snap can flip GCell assignments, so validating the
+        unrounded point would anchor on a different route.
+        """
+        nonlocal real_wns, real_tns, real_coords, coords, validations
+        nonlocal validated_reverts, pending_accepts, best_wns, best_tns, best_coords
+        nonlocal prop_idx
+        from repro.steiner.forest import SteinerForest
+
+        validations += 1
+        rounded = SteinerForest.round_array(coords)
+        rw, rt = validator(rounded)
+        if cfg.validation_rule == "penalty":
+            w_w = abs(cfg.penalty.lambda_wns)
+            w_t = abs(cfg.penalty.lambda_tns)
+            improved = (w_w * rw + w_t * rt) > (w_w * real_wns + w_t * real_tns)
+        else:
+            improved = rw > real_wns or rt > real_tns
+        if improved:
+            if cfg.validation_rule == "penalty":
+                # Anchor metrics must describe the anchor coordinates.
+                real_wns, real_tns = rw, rt
+            else:
+                real_wns = max(real_wns, rw)
+                real_tns = max(real_tns, rt)
+            real_coords = rounded.copy()
+        else:
+            validated_reverts += 1
+            coords = real_coords.copy()
+            best_coords = real_coords.copy()
+            # Reset the predicted-metric baseline to the anchor, else
+            # the inflated rejected prediction blocks all future accepts.
+            best_wns, best_tns = oracle.evaluate(coords)
+            # Rotate to the next proposal profile: sparser and smaller.
+            prop_idx += 1
+            so.theta = max(theta * schedule[prop_idx % len(schedule)][1], cfg.min_theta)
+        pending_accepts = 0
+
+    while True:
+        # Line 7: concurrent update of all Steiner points.
+        grad, _, _ = oracle.gradient(coords, pcfg)
+        candidate = so.update(coords, grad)
+        step = np.clip(candidate - coords, -move_cap, move_cap)
+        fraction = cfg.move_fraction
+        if use_validator:
+            fraction = min(fraction, schedule[prop_idx % len(schedule)][0])
+        if fraction < 1.0 and coords.shape[0] > 4:
+            # Concentrate the move on the most critical points.
+            magnitude = np.abs(grad).sum(axis=1)
+            k = max(1, int(np.ceil(coords.shape[0] * fraction)))
+            threshold = np.partition(magnitude, -k)[-k]
+            step = step * (magnitude >= threshold)[:, None]
+        candidate = clamp(coords + step)
+
+        # Line 8: evaluate the temporary solution.
+        wns, tns = oracle.evaluate(candidate)
+        history.append((wns, tns))
+
+        # Lines 9-14: accept if either metric improved, else revert.
+        if wns > best_wns or tns > best_tns:
+            best_wns = max(best_wns, wns)
+            best_tns = max(best_tns, tns)
+            coords = candidate
+            best_coords = candidate.copy()
+            accepted += 1
+            pending_accepts += 1
+            so.theta = min(so.theta * cfg.expand_on_accept, theta)
+            if use_validator and pending_accepts >= cfg.validate_every:
+                validate_candidate()
+        else:
+            # Revert; shrink the stepsize so the next candidate differs.
+            so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
+
+        t += 1
+        # Penalty escalation from iteration 5 (Section IV-A).
+        if t >= cfg.escalation_start:
+            pcfg = pcfg.escalated(cfg.escalation_rate)
+
+        # Line 16: iteration cap.
+        if t >= cfg.max_iterations:
+            break
+        # Line 19: auto-convergence at ratio mu.
+        if _converged(init_wns, best_wns, cfg.converge_ratio) or _converged(
+            init_tns, best_tns, cfg.converge_ratio
+        ):
+            break
+
+    if use_validator:
+        if pending_accepts:
+            validate_candidate()
+        # ---- oracle-polish stage ----
+        if cfg.polish_probes > 0 and coords.size:
+            real_coords, real_wns, real_tns, probes = _polish(
+                oracle,
+                validator,
+                clamp,
+                real_coords,
+                real_wns,
+                real_tns,
+                pcfg,
+                cfg,
+                graph.netlist.technology.gcell_size,
+            )
+            validations += probes
+        best_coords = real_coords
+
+    return RefinementResult(
+        coords=best_coords,
+        init_wns=init_wns,
+        init_tns=init_tns,
+        best_wns=best_wns,
+        best_tns=best_tns,
+        iterations=t,
+        theta=theta,
+        accepted=accepted,
+        history=history,
+        validations=validations,
+        validated_reverts=validated_reverts,
+    )
+
+
+def _converged(init: float, best: float, mu: float) -> bool:
+    """Line 19 test: relative improvement exceeded the converge ratio."""
+    if abs(init) < 1e-12:
+        return False
+    return (init - best) / init > mu
+
+
+def _polish(
+    oracle: _Oracle,
+    validator: Validator,
+    clamp: Callable[[np.ndarray], np.ndarray],
+    anchor: np.ndarray,
+    anchor_wns: float,
+    anchor_tns: float,
+    pcfg: PenaltyConfig,
+    cfg: RefinementConfig,
+    gcell: float,
+) -> Tuple[np.ndarray, float, float, int]:
+    """Per-point oracle-validated descent on the most critical points.
+
+    Cycles through the ``polish_top_k`` Steiner points with the largest
+    evaluator-gradient magnitude; each probe moves one point by one of
+    ``polish_steps`` GCells along its negative gradient direction and
+    keeps the move only if the real (validated) weighted penalty
+    improves.  The gradient is re-evaluated after every accepted move so
+    the ranking tracks the evolving critical paths.
+    """
+    from repro.steiner.forest import SteinerForest
+
+    w_w = abs(cfg.penalty.lambda_wns)
+    w_t = abs(cfg.penalty.lambda_tns)
+
+    def score(wns: float, tns: float) -> float:
+        return w_w * wns + w_t * tns
+
+    best = anchor.copy()
+    best_wns, best_tns = anchor_wns, anchor_tns
+    probes = 0
+
+    grad, _, _ = oracle.gradient(best, pcfg)
+    order = np.argsort(-np.abs(grad).sum(axis=1))[: cfg.polish_top_k]
+    cursor = 0
+    step_idx = 0
+    while probes < cfg.polish_probes and order.size:
+        point = int(order[cursor % order.size])
+        direction = -grad[point]
+        norm = float(np.linalg.norm(direction))
+        cursor += 1
+        if norm < 1e-15:
+            if cursor > order.size:  # gradient exhausted
+                break
+            continue
+        step = cfg.polish_steps[step_idx % len(cfg.polish_steps)] * gcell
+        step_idx += 1
+        candidate = best.copy()
+        candidate[point] = candidate[point] + step * direction / norm
+        candidate = SteinerForest.round_array(clamp(candidate))
+        rw, rt = validator(candidate)
+        probes += 1
+        if score(rw, rt) > score(best_wns, best_tns):
+            best = candidate
+            best_wns, best_tns = rw, rt
+            grad, _, _ = oracle.gradient(best, pcfg)
+            order = np.argsort(-np.abs(grad).sum(axis=1))[: cfg.polish_top_k]
+            cursor = 0
+    return best, best_wns, best_tns, probes

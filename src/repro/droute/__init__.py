@@ -1,0 +1,5 @@
+"""Detailed-routing surrogate (TritonRoute stand-in)."""
+
+from repro.droute.detailed import DetailedRouteResult, DetailedRouter, DetailedRouterConfig
+
+__all__ = ["DetailedRouteResult", "DetailedRouter", "DetailedRouterConfig"]

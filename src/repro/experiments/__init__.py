@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(config) -> <result dataclass>`` plus a
+``format_table`` helper that renders rows the way the paper prints
+them.  ``repro.experiments.common`` owns the shared, cached pipeline
+context (prepared designs, baseline flows, trained evaluator) so that
+regenerating all six artifacts costs one training run, not six.
+"""
+
+from repro.experiments.common import ExperimentConfig, ExperimentContext, get_context
+from repro.experiments import table1, table2, table3, table4, fig2, fig5, ablation, sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "get_context",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig5",
+    "ablation",
+    "sweep",
+]

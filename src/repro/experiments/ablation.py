@@ -1,0 +1,84 @@
+"""Ablation studies of TSteiner's design choices (DESIGN.md §6).
+
+Not part of the paper's tables, but the paper motivates several
+components whose value is worth quantifying on this substrate:
+
+* adaptive theta (Eq. 9) vs fixed stepsizes;
+* the per-step stochastic optimizer of Eq. (7) vs accumulated Adam;
+* LSE smoothing temperature gamma;
+* hybrid oracle validation vs pure evaluator acceptance (this repo's
+  addition — 'evaluator' mode is the paper's literal Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional
+
+from repro.core.penalty import PenaltyConfig
+from repro.core.refine import RefinementConfig
+from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.flow.pipeline import run_routing_flow
+
+
+@dataclass
+class AblationRow:
+    variant: str
+    wns_ratio: float
+    tns_ratio: float
+    accepted: int
+    iterations: int
+
+
+@dataclass
+class AblationResult:
+    design: str
+    rows: List[AblationRow]
+
+
+def _variants(base: RefinementConfig) -> Dict[str, RefinementConfig]:
+    return {
+        "paper-SO+hybrid": base,
+        "adam+hybrid": dc_replace(base, optimizer="adam"),
+        "evaluator-only": dc_replace(base, acceptance="evaluator"),
+        "no-backtrack": dc_replace(base, backtrack=1.0),
+        "gamma=1": dc_replace(base, penalty=PenaltyConfig(gamma=1.0)),
+        "gamma=50": dc_replace(base, penalty=PenaltyConfig(gamma=50.0)),
+    }
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    design: Optional[str] = None,
+) -> AblationResult:
+    ctx = get_context(config)
+    cfg = ctx.config
+    name = design or cfg.designs[0]
+    netlist, forest = ctx.design(name)
+    base_result = ctx.baseline(name)
+    model = ctx.model()
+
+    rows: List[AblationRow] = []
+    for label, rcfg in _variants(cfg.refinement_config()).items():
+        flow = run_routing_flow(netlist, forest, model=model, refinement_config=rcfg)
+        ref = flow.refinement
+        rows.append(
+            AblationRow(
+                variant=label,
+                wns_ratio=flow.wns / base_result.wns if abs(base_result.wns) > 1e-12 else 1.0,
+                tns_ratio=flow.tns / base_result.tns if abs(base_result.tns) > 1e-12 else 1.0,
+                accepted=ref.accepted if ref else 0,
+                iterations=ref.iterations if ref else 0,
+            )
+        )
+    return AblationResult(design=name, rows=rows)
+
+
+def format_result(result: AblationResult) -> str:
+    headers = ["Variant", "WNS ratio", "TNS ratio", "Accepted", "Iterations"]
+    rows = [[r.variant, r.wns_ratio, r.tns_ratio, r.accepted, r.iterations] for r in result.rows]
+    return format_table(headers, rows, title=f"Ablation on {result.design} (ratios vs baseline)")
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,204 @@
+"""Shared experiment context with process-level caching.
+
+Regenerating every table/figure needs the same expensive artifacts:
+prepared designs, baseline flow runs, oracle-labelled samples and a
+trained evaluator.  ``get_context`` memoizes them per configuration so
+the whole experiment suite costs one pipeline, and individual
+benchmarks stay fast enough for CI.
+
+Two profiles are provided:
+
+* ``ExperimentConfig.quick()`` — three small designs, light training;
+  used by the test suite and the default benchmark run.
+* ``ExperimentConfig.paper()`` — all ten designs with the paper's
+  train/test split; the full reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.refine import RefinementConfig
+from repro.flow.pipeline import FlowResult, make_training_samples, prepare_design, run_routing_flow
+from repro.netlist.benchmarks import BENCHMARKS, TEST_BENCHMARKS, TRAIN_BENCHMARKS
+from repro.netlist.netlist import Netlist
+from repro.steiner.forest import SteinerForest
+from repro.timing_model.dataset import DesignSample
+from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+from repro.timing_model.train import TrainerConfig, train_evaluator
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment modules."""
+
+    designs: Tuple[str, ...]
+    train_designs: Tuple[str, ...]
+    scale: float = 1.0
+    hidden: int = 32
+    train_epochs: int = 300
+    learning_rate: float = 5e-3
+    patience: int = 80
+    augment: int = 4
+    refinement_iterations: int = 60
+    validate_every: int = 1
+    random_trials: int = 10
+    seed: int = 42
+
+    @staticmethod
+    def quick() -> "ExperimentConfig":
+        """Small profile for tests and fast benchmark runs."""
+        return ExperimentConfig(
+            designs=("spm", "cic_decimator", "APU", "usb_cdc_core"),
+            train_designs=("spm", "cic_decimator", "APU"),
+            train_epochs=400,
+            patience=120,
+            augment=2,
+            refinement_iterations=25,
+            random_trials=5,
+        )
+
+    @staticmethod
+    def paper() -> "ExperimentConfig":
+        """The full ten-design reproduction with the paper's split."""
+        return ExperimentConfig(
+            designs=tuple(BENCHMARKS),
+            train_designs=tuple(TRAIN_BENCHMARKS),
+        )
+
+    @staticmethod
+    def full() -> "ExperimentConfig":
+        """All ten designs at half scale — the overnight-free middle
+        ground between ``quick`` (CI) and ``paper`` (hours)."""
+        return ExperimentConfig(
+            designs=tuple(BENCHMARKS),
+            train_designs=tuple(TRAIN_BENCHMARKS),
+            scale=0.5,
+            # Ten designs need a real training budget: 150 epochs leaves
+            # the evaluator underfit (negative train R²) even though the
+            # validated refinement still harvests improvements.
+            train_epochs=400,
+            patience=120,
+            augment=1,
+            refinement_iterations=25,
+            random_trials=5,
+        )
+
+    @staticmethod
+    def from_env() -> "ExperimentConfig":
+        """Profile selected by the REPRO_PROFILE environment variable."""
+        profile = os.environ.get("REPRO_PROFILE", "quick")
+        if profile == "paper":
+            return ExperimentConfig.paper()
+        if profile == "full":
+            return ExperimentConfig.full()
+        return ExperimentConfig.quick()
+
+    def refinement_config(self) -> RefinementConfig:
+        return RefinementConfig(
+            max_iterations=self.refinement_iterations,
+            validate_every=self.validate_every,
+        )
+
+
+class ExperimentContext:
+    """Lazily-built, cached pipeline artifacts for one configuration."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._designs: Dict[str, Tuple[Netlist, SteinerForest]] = {}
+        self._baselines: Dict[str, FlowResult] = {}
+        self._optimized: Dict[str, FlowResult] = {}
+        self._samples: Optional[List[DesignSample]] = None
+        self._model: Optional[TimingEvaluator] = None
+
+    # ------------------------------------------------------------------
+    def design(self, name: str) -> Tuple[Netlist, SteinerForest]:
+        if name not in self._designs:
+            self._designs[name] = prepare_design(name, scale=self.config.scale)
+        return self._designs[name]
+
+    def baseline(self, name: str) -> FlowResult:
+        if name not in self._baselines:
+            netlist, forest = self.design(name)
+            self._baselines[name] = run_routing_flow(netlist, forest)
+        return self._baselines[name]
+
+    def optimized(self, name: str) -> FlowResult:
+        if name not in self._optimized:
+            netlist, forest = self.design(name)
+            self._optimized[name] = run_routing_flow(
+                netlist,
+                forest,
+                model=self.model(),
+                refinement_config=self.config.refinement_config(),
+            )
+        return self._optimized[name]
+
+    def samples(self) -> List[DesignSample]:
+        if self._samples is None:
+            self._samples = make_training_samples(
+                names=list(self.config.designs),
+                scale=self.config.scale,
+                train_names=list(self.config.train_designs),
+                augment=self.config.augment,
+            )
+        return self._samples
+
+    def pristine_samples(self) -> List[DesignSample]:
+        """Samples excluding disturbance-augmented variants."""
+        return [s for s in self.samples() if "@aug" not in s.name]
+
+    def model(self) -> TimingEvaluator:
+        if self._model is None:
+            cfg = self.config
+            model = TimingEvaluator(EvaluatorConfig(hidden=cfg.hidden, seed=cfg.seed))
+            train_evaluator(
+                model,
+                self.samples(),
+                TrainerConfig(
+                    epochs=cfg.train_epochs,
+                    learning_rate=cfg.learning_rate,
+                    patience=cfg.patience,
+                ),
+            )
+            self._model = model
+        return self._model
+
+
+_CONTEXTS: Dict[ExperimentConfig, ExperimentContext] = {}
+
+
+def get_context(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
+    """Process-cached context for ``config`` (default: env profile)."""
+    config = config or ExperimentConfig.from_env()
+    if config not in _CONTEXTS:
+        _CONTEXTS[config] = ExperimentContext(config)
+    return _CONTEXTS[config]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table renderer shared by all experiment modules."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,83 @@
+"""Fig. 5 — TSteiner vs expected value of random moves.
+
+Compares, per metric, the sign-off ratio achieved by TSteiner against
+the *expected* ratio of random disturbance ('ExpV-Random' in the
+paper).  Shape target: TSteiner's ratios sit at or below 1.0 while the
+random expectation sits at or above 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.experiments.fig2 import run as run_fig2
+from repro.flow.baseline import random_move_trials
+
+
+@dataclass
+class Fig5Result:
+    tsteiner_wns: Dict[str, float]
+    tsteiner_tns: Dict[str, float]
+    random_wns: Dict[str, float]
+    random_tns: Dict[str, float]
+
+    def mean(self, series: str) -> float:
+        data = getattr(self, series)
+        return float(np.mean(list(data.values()))) if data else 1.0
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Fig5Result:
+    ctx = get_context(config)
+    cfg = ctx.config
+    ts_wns: Dict[str, float] = {}
+    ts_tns: Dict[str, float] = {}
+    rnd_wns: Dict[str, float] = {}
+    rnd_tns: Dict[str, float] = {}
+    for name in cfg.designs:
+        base = ctx.baseline(name)
+        opt = ctx.optimized(name)
+        if abs(base.wns) > 1e-9:
+            ts_wns[name] = opt.wns / base.wns
+        if abs(base.tns) > 1e-9:
+            ts_tns[name] = opt.tns / base.tns
+        netlist, forest = ctx.design(name)
+        stats = random_move_trials(
+            netlist, forest, base, trials=cfg.random_trials, seed=cfg.seed + 1
+        )
+        rnd_wns[name] = stats.mean_wns_ratio
+        rnd_tns[name] = stats.mean_tns_ratio
+    return Fig5Result(ts_wns, ts_tns, rnd_wns, rnd_tns)
+
+
+def format_result(result: Fig5Result) -> str:
+    headers = ["Benchmark", "TSteiner-WNS", "ExpV-Random-WNS", "TSteiner-TNS", "ExpV-Random-TNS"]
+    names = sorted(set(result.tsteiner_wns) | set(result.random_wns))
+    rows = []
+    for n in names:
+        rows.append(
+            [
+                n,
+                result.tsteiner_wns.get(n, 1.0),
+                result.random_wns.get(n, 1.0),
+                result.tsteiner_tns.get(n, 1.0),
+                result.random_tns.get(n, 1.0),
+            ]
+        )
+    rows.append(
+        [
+            "Mean",
+            result.mean("tsteiner_wns"),
+            result.mean("random_wns"),
+            result.mean("tsteiner_tns"),
+            result.mean("random_tns"),
+        ]
+    )
+    return format_table(headers, rows, title="FIG 5: sign-off timing ratio, TSteiner vs random moves")
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,81 @@
+"""Clock-period sweep: how sign-off metrics scale with the constraint.
+
+Not a paper artifact, but the calibration tool used to pick the
+benchmark clock periods (DESIGN.md §2): sweeping the period of one
+design shows where WNS crosses zero, how TNS grows as the constraint
+tightens, and how many endpoints violate at each point — the data
+needed to place a design in the paper-like 'everything violates
+meaningfully' regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.flow.pipeline import prepare_design, run_routing_flow
+from repro.pdk.clocks import ClockSpec
+
+
+@dataclass
+class SweepPoint:
+    period: float
+    wns: float
+    tns: float
+    violations: int
+    endpoints: int
+
+
+@dataclass
+class SweepResult:
+    design: str
+    points: List[SweepPoint]
+
+    def crossover_period(self) -> Optional[float]:
+        """Smallest swept period at which the design meets timing."""
+        passing = [p.period for p in self.points if p.wns >= 0]
+        return min(passing) if passing else None
+
+
+def run(
+    design: str = "APU",
+    period_scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0),
+    scale: float = 1.0,
+) -> SweepResult:
+    """Re-time one design across clock periods (one routing pass each)."""
+    netlist, forest = prepare_design(design, scale=scale)
+    base_period = netlist.clock.period
+    points: List[SweepPoint] = []
+    for s in period_scales:
+        netlist.clock = ClockSpec(period=base_period * s)
+        # The STA engine caches required times at construction, so a
+        # fresh flow run (which builds a fresh engine) is required.
+        result = run_routing_flow(netlist, forest)
+        points.append(
+            SweepPoint(
+                period=base_period * s,
+                wns=result.wns,
+                tns=result.tns,
+                violations=result.num_violations,
+                endpoints=len(netlist.endpoints()),
+            )
+        )
+    netlist.clock = ClockSpec(period=base_period)
+    return SweepResult(design=design, points=points)
+
+
+def format_result(result: SweepResult) -> str:
+    headers = ["period (ns)", "WNS", "TNS", "#Vios", "#Endpoints"]
+    rows = [
+        [p.period, p.wns, p.tns, p.violations, p.endpoints] for p in result.points
+    ]
+    cross = result.crossover_period()
+    title = f"Clock sweep on {result.design}" + (
+        f" (meets timing at {cross:.3g} ns)" if cross else " (violates at all periods)"
+    )
+    return format_table(headers, rows, title=title)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,51 @@
+"""Table I — benchmark statistics.
+
+Reproduces the paper's benchmark-statistics table: per design the
+number of cell (pin) nodes and Steiner nodes, net and cell edge counts,
+and timing endpoints, plus 'Total Train' / 'Total Test' rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.netlist.stats import NetlistStats, aggregate_stats, collect_stats
+
+
+@dataclass
+class Table1Result:
+    rows: List[NetlistStats]
+    total_train: NetlistStats
+    total_test: NetlistStats
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Table1Result:
+    ctx = get_context(config)
+    cfg = ctx.config
+    rows: List[NetlistStats] = []
+    train_rows: List[NetlistStats] = []
+    test_rows: List[NetlistStats] = []
+    for name in cfg.designs:
+        netlist, forest = ctx.design(name)
+        stats = collect_stats(netlist, forest)
+        rows.append(stats)
+        (train_rows if name in cfg.train_designs else test_rows).append(stats)
+    return Table1Result(
+        rows=rows,
+        total_train=aggregate_stats(train_rows, "Total Train"),
+        total_test=aggregate_stats(test_rows, "Total Test"),
+    )
+
+
+def format_result(result: Table1Result) -> str:
+    headers = ["Benchmark", "#Cell", "#Steiner", "#NetEdges", "#CellEdges", "#Endpoints"]
+    rows = [r.as_row() for r in result.rows]
+    rows.append(result.total_train.as_row())
+    rows.append(result.total_test.as_row())
+    return format_table(headers, rows, title="TABLE I: Benchmark statistics")
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,119 @@
+"""Table II — concurrent timing-optimization performance.
+
+For every design, both arms of the flow run on identical inputs:
+
+* baseline — Steiner construction + edge shifting -> GR -> DR -> STA;
+* TSteiner — the same with gradient-based refinement before GR.
+
+Reported per design: sign-off WNS / TNS / #Vios and routed WL / #Vias /
+#DRV, plus the average-ratio row the paper prints (baseline
+normalized to 1.000).  Shape target: WNS and TNS ratios <= 1.0 on
+average (TSteiner never loses thanks to validated acceptance), with
+routing quality within a fraction of a percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.flow.pipeline import FlowResult
+
+
+@dataclass
+class Table2Row:
+    name: str
+    baseline: FlowResult
+    optimized: FlowResult
+
+    @property
+    def wns_ratio(self) -> float:
+        return _ratio(self.optimized.wns, self.baseline.wns)
+
+    @property
+    def tns_ratio(self) -> float:
+        return _ratio(self.optimized.tns, self.baseline.tns)
+
+    @property
+    def vios_ratio(self) -> float:
+        return _ratio(self.optimized.num_violations, self.baseline.num_violations)
+
+    @property
+    def wl_ratio(self) -> float:
+        return _ratio(self.optimized.wirelength, self.baseline.wirelength)
+
+    @property
+    def vias_ratio(self) -> float:
+        return _ratio(self.optimized.num_vias, self.baseline.num_vias)
+
+    @property
+    def drv_ratio(self) -> float:
+        return _ratio(self.optimized.num_drvs, self.baseline.num_drvs)
+
+
+def _ratio(opt: float, base: float) -> float:
+    if abs(base) < 1e-12:
+        return 1.0
+    return float(opt) / float(base)
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+
+    def average_ratios(self) -> Dict[str, float]:
+        keys = ["wns_ratio", "tns_ratio", "vios_ratio", "wl_ratio", "vias_ratio", "drv_ratio"]
+        return {k: float(np.mean([getattr(r, k) for r in self.rows])) for k in keys}
+
+    @property
+    def mean_wns_improvement(self) -> float:
+        """Average relative WNS improvement (paper headline: 11.2 %)."""
+        return 1.0 - self.average_ratios()["wns_ratio"]
+
+    @property
+    def mean_tns_improvement(self) -> float:
+        return 1.0 - self.average_ratios()["tns_ratio"]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Table2Result:
+    ctx = get_context(config)
+    rows = [
+        Table2Row(name, ctx.baseline(name), ctx.optimized(name))
+        for name in ctx.config.designs
+    ]
+    return Table2Result(rows=rows)
+
+
+def format_result(result: Table2Result) -> str:
+    headers = [
+        "Benchmark",
+        "WNS(b)", "TNS(b)", "#Vios(b)", "WL(b)", "#Vias(b)", "#DRV(b)",
+        "WNS(t)", "TNS(t)", "#Vios(t)", "WL(t)", "#Vias(t)", "#DRV(t)",
+    ]
+    rows = []
+    for r in result.rows:
+        b, t = r.baseline, r.optimized
+        rows.append(
+            [
+                r.name,
+                b.wns, b.tns, b.num_violations, b.wirelength, b.num_vias, b.num_drvs,
+                t.wns, t.tns, t.num_violations, t.wirelength, t.num_vias, t.num_drvs,
+            ]
+        )
+    avg = result.average_ratios()
+    rows.append(
+        [
+            "Average",
+            1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+            avg["wns_ratio"], avg["tns_ratio"], avg["vios_ratio"],
+            avg["wl_ratio"], avg["vias_ratio"], avg["drv_ratio"],
+        ]
+    )
+    return format_table(headers, rows, title="TABLE II: Sign-off optimization (b=baseline, t=TSteiner)")
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,56 @@
+"""Table III — sign-off timing prediction performance (R² scores).
+
+Per design: R² of the evaluator's predicted arrival time on all pins
+('arrival-all') and on endpoints only ('arrival-ends'), plus the
+'Avg. Train' / 'Avg. Test' columns.  Shape target: train averages near
+1.0, held-out averages high but visibly lower — matching the paper's
+0.9959 / 0.9280 (all pins) and 0.9974 / 0.8871 (endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.timing_model.train import evaluate_r2
+
+
+@dataclass
+class Table3Result:
+    scores: Dict[str, Dict[str, float]]  # design -> task -> R²
+    train_designs: List[str]
+    test_designs: List[str]
+
+    def average(self, task: str, train: bool) -> float:
+        names = self.train_designs if train else self.test_designs
+        vals = [self.scores[n][task] for n in names if n in self.scores]
+        return float(np.mean(vals)) if vals else float("nan")
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Table3Result:
+    ctx = get_context(config)
+    cfg = ctx.config
+    model = ctx.model()
+    scores = evaluate_r2(model, ctx.pristine_samples())
+    train = [n for n in cfg.designs if n in cfg.train_designs]
+    test = [n for n in cfg.designs if n not in cfg.train_designs]
+    return Table3Result(scores=scores, train_designs=train, test_designs=test)
+
+
+def format_result(result: Table3Result) -> str:
+    headers = ["Task"] + list(result.scores) + ["Avg.Train", "Avg.Test"]
+    rows = []
+    for task in ("arrival_all", "arrival_ends"):
+        row = [task.replace("_", "-")]
+        row.extend(result.scores[n][task] for n in result.scores)
+        row.append(result.average(task, train=True))
+        row.append(result.average(task, train=False))
+        rows.append(row)
+    return format_table(headers, rows, title="TABLE III: Arrival-time prediction R²")
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

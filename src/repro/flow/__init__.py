@@ -1,0 +1,24 @@
+"""End-to-end physical-design flow orchestration (Fig. 1 of the paper).
+
+``prepare_design`` runs synthesis-substitute generation, placement,
+Steiner construction and edge shifting; ``run_routing_flow`` runs the
+optional TSteiner step followed by global routing, detailed routing and
+sign-off STA, recording per-stage wall-clock runtimes (Table IV).
+"""
+
+from repro.flow.pipeline import (
+    FlowResult,
+    prepare_design,
+    run_routing_flow,
+    make_training_samples,
+)
+from repro.flow.baseline import random_disturbance, random_move_trials
+
+__all__ = [
+    "FlowResult",
+    "prepare_design",
+    "run_routing_flow",
+    "make_training_samples",
+    "random_disturbance",
+    "random_move_trials",
+]

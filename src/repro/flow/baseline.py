@@ -1,0 +1,84 @@
+"""Random-disturbance baseline (Fig. 2 and Fig. 5 of the paper).
+
+The paper motivates learned refinement by showing that *random* Steiner
+point moves change sign-off TNS noticeably (ratio spread around 1.0)
+but do not help on average — the 'ExpV-Random' series of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.flow.pipeline import FlowResult, run_routing_flow
+from repro.netlist.netlist import Netlist
+from repro.steiner.forest import SteinerForest
+
+
+def random_disturbance(
+    forest: SteinerForest,
+    rng: np.random.Generator,
+    max_distance: Optional[float] = None,
+) -> SteinerForest:
+    """A copy of ``forest`` with uniformly perturbed Steiner points.
+
+    Moves are bounded by ``max_distance`` (default: one GCell, the
+    same cap the refinement loop uses) and clamped to the die.
+    """
+    if max_distance is None:
+        max_distance = forest.netlist.technology.gcell_size
+    disturbed = forest.copy()
+    coords = disturbed.get_steiner_coords()
+    if coords.size:
+        noise = rng.uniform(-max_distance, max_distance, size=coords.shape)
+        disturbed.set_steiner_coords(disturbed.clamp_coords(coords + noise))
+    return disturbed
+
+
+@dataclass
+class RandomTrialStats:
+    """Distribution of sign-off metric ratios across random trials."""
+
+    tns_ratios: List[float]
+    wns_ratios: List[float]
+
+    @property
+    def mean_tns_ratio(self) -> float:
+        return float(np.mean(self.tns_ratios)) if self.tns_ratios else 1.0
+
+    @property
+    def mean_wns_ratio(self) -> float:
+        return float(np.mean(self.wns_ratios)) if self.wns_ratios else 1.0
+
+    @property
+    def tns_spread(self) -> float:
+        return float(np.std(self.tns_ratios)) if self.tns_ratios else 0.0
+
+
+def random_move_trials(
+    netlist: Netlist,
+    forest: SteinerForest,
+    baseline: FlowResult,
+    trials: int = 10,
+    seed: int = 2023,
+    max_distance: Optional[float] = None,
+) -> RandomTrialStats:
+    """Re-run the flow ``trials`` times with random Steiner disturbance.
+
+    Ratios are disturbed/baseline for TNS and WNS; both metrics are
+    negative, so a ratio above 1.0 means the random move made timing
+    *worse*.  The paper runs 10-50 trials per design (Fig. 2).
+    """
+    rng = np.random.default_rng(seed)
+    tns_ratios: List[float] = []
+    wns_ratios: List[float] = []
+    for _ in range(trials):
+        disturbed = random_disturbance(forest, rng, max_distance)
+        result = run_routing_flow(netlist, disturbed)
+        if abs(baseline.tns) > 1e-9:
+            tns_ratios.append(result.tns / baseline.tns)
+        if abs(baseline.wns) > 1e-9:
+            wns_ratios.append(result.wns / baseline.wns)
+    return RandomTrialStats(tns_ratios=tns_ratios, wns_ratios=wns_ratios)

@@ -1,0 +1,185 @@
+"""Flow pipeline: placement -> Steiner -> [TSteiner] -> GR -> DR -> STA.
+
+Each stage is timed with ``time.perf_counter`` so Table IV can report
+the same runtime breakdown as the paper (TSteiner / global route /
+detailed route).  The baseline arm and the TSteiner arm share identical
+inputs: ``prepare_design`` is deterministic, and the TSteiner arm works
+on a *copy* of the initial forest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.refine import RefinementConfig, RefinementResult
+from repro.core.tsteiner import TSteiner
+from repro.droute.detailed import DetailedRouter, DetailedRouterConfig
+from repro.groute.layer_assign import assign_layers
+from repro.groute.router import GlobalRouteResult, GlobalRouter, RouterConfig
+from repro.netlist.benchmarks import BENCHMARKS, build_benchmark
+from repro.netlist.netlist import Netlist
+from repro.placement.placer import PlacementConfig, place
+from repro.routegrid.grid import GCellGrid
+from repro.sta.engine import STAEngine, TimingReport
+from repro.steiner.edge_shifting import shift_edges
+from repro.steiner.forest import SteinerForest, build_forest
+from repro.timing_model.dataset import DesignSample, make_sample
+from repro.timing_model.model import TimingEvaluator
+
+
+@dataclass
+class FlowResult:
+    """Sign-off and routing-quality metrics of one flow run (Table II)."""
+
+    name: str
+    wns: float
+    tns: float
+    num_violations: int
+    wirelength: float
+    num_vias: int
+    num_drvs: int
+    runtimes: Dict[str, float] = field(default_factory=dict)
+    overflow: float = 0.0
+    refinement: Optional[RefinementResult] = None
+    report: Optional[TimingReport] = None
+    route_result: Optional[GlobalRouteResult] = None
+
+    @property
+    def total_runtime(self) -> float:
+        return sum(self.runtimes.values())
+
+
+def prepare_design(
+    name: str,
+    scale: float = 1.0,
+    edge_shift_passes: int = 1,
+    placement_config: Optional[PlacementConfig] = None,
+) -> Tuple[Netlist, SteinerForest]:
+    """Generate, place and Steinerize one named benchmark.
+
+    Deterministic: repeated calls return byte-identical geometry, so
+    baseline and TSteiner arms can be compared fairly.
+    """
+    netlist = build_benchmark(name, scale=scale)
+    place(netlist, placement_config)
+    forest = build_forest(netlist)
+    if edge_shift_passes > 0:
+        shift_edges(forest, passes=edge_shift_passes)
+    return netlist, forest
+
+
+def run_routing_flow(
+    netlist: Netlist,
+    forest: SteinerForest,
+    model: Optional[TimingEvaluator] = None,
+    refinement_config: Optional[RefinementConfig] = None,
+    router_config: Optional[RouterConfig] = None,
+    droute_config: Optional[DetailedRouterConfig] = None,
+    engine: Optional[STAEngine] = None,
+) -> FlowResult:
+    """Route and sign off one design; optionally run TSteiner first.
+
+    The input ``forest`` is not mutated — the flow operates on a copy,
+    so a single prepared design can feed both arms of Table II.
+    """
+    work = forest.copy()
+    runtimes: Dict[str, float] = {}
+    refinement: Optional[RefinementResult] = None
+
+    if model is not None:
+        t0 = time.perf_counter()
+        optimizer = TSteiner(model, refinement_config)
+        refinement = optimizer.optimize(netlist, work)
+        runtimes["tsteiner"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
+    router = GlobalRouter(grid, router_config)
+    route_result = router.route(work)
+    assign_layers(route_result, netlist.technology, grid.nx * grid.ny)
+    runtimes["groute"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    droute = DetailedRouter(grid, droute_config)
+    detail = droute.route(work, route_result)
+    runtimes["droute"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine = engine or STAEngine(netlist)
+    report = engine.run(work, route_result, utilization=grid.utilization_map())
+    runtimes["sta"] = time.perf_counter() - t0
+
+    return FlowResult(
+        name=netlist.name,
+        wns=report.wns,
+        tns=report.tns,
+        num_violations=report.num_violations,
+        wirelength=detail.wirelength,
+        num_vias=detail.num_vias,
+        num_drvs=detail.num_drvs,
+        runtimes=runtimes,
+        overflow=route_result.overflow,
+        refinement=refinement,
+        report=report,
+        route_result=route_result,
+    )
+
+
+def make_training_samples(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    train_names: Optional[Sequence[str]] = None,
+    augment: int = 2,
+    augment_seed: int = 77,
+) -> List[DesignSample]:
+    """Run the baseline flow on each design and package GNN samples.
+
+    ``train_names`` defaults to the paper's six training designs; other
+    designs are marked held-out (``is_train=False``).
+
+    ``augment`` adds that many *position-disturbed* variants per
+    training design (random Steiner moves, re-routed and re-timed by
+    the oracle).  Without augmentation the model only ever sees
+    RSMT-optimal geometry and learns nothing about how sign-off timing
+    *responds* to Steiner moves — precisely the derivative the
+    refinement loop consumes.  Disturbed variants are train-only and
+    excluded from Table III scoring.
+    """
+    from repro.flow.baseline import random_disturbance
+    from repro.netlist.benchmarks import TRAIN_BENCHMARKS
+
+    names = list(names) if names is not None else list(BENCHMARKS)
+    train_set = set(train_names) if train_names is not None else set(TRAIN_BENCHMARKS)
+    rng = np.random.default_rng(augment_seed)
+    samples: List[DesignSample] = []
+
+    def route_and_sample(netlist: Netlist, forest: SteinerForest, is_train: bool, engine: STAEngine) -> DesignSample:
+        grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
+        router = GlobalRouter(grid)
+        route_result = router.route(forest)
+        assign_layers(route_result, netlist.technology, grid.nx * grid.ny)
+        return make_sample(
+            netlist,
+            forest,
+            route_result,
+            is_train=is_train,
+            engine=engine,
+            congestion=grid.utilization_map(),
+        )
+
+    for name in names:
+        netlist, forest = prepare_design(name, scale=scale)
+        engine = STAEngine(netlist)
+        is_train = name in train_set
+        samples.append(route_and_sample(netlist, forest, is_train, engine))
+        if is_train:
+            for k in range(augment):
+                disturbed = random_disturbance(forest, rng)
+                aug = route_and_sample(netlist, disturbed, True, engine)
+                aug.name = f"{name}@aug{k}"
+                samples.append(aug)
+    return samples

@@ -1,0 +1,111 @@
+"""Timing-aware layer assignment.
+
+Assigns each routed segment's horizontal wire to one of the H layers
+and its vertical wire to one of the V layers.  The policy mirrors
+timing-driven layer assignment (CATALYST / TILA-style intuition at
+global-routing granularity):
+
+* long segments are promoted to upper (low-resistance) layers, because
+  wire RC delay grows quadratically with length on a resistive layer;
+* per-layer capacity is respected per GCell *approximately*: a running
+  per-layer usage counter demotes segments when an upper layer fills.
+
+Via counts: one via per bend, plus the via stack from the pin layer
+(met1) up to the assigned layer at both ends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.groute.router import GlobalRouteResult, SegmentRoute
+from repro.pdk.technology import Technology
+
+
+def assign_layers(
+    result: GlobalRouteResult,
+    technology: Technology,
+    grid_area_gcells: int,
+    promote_quantiles: Tuple[float, float] = (0.55, 0.85),
+) -> None:
+    """Assign layers to all segments in ``result`` (mutates them).
+
+    ``grid_area_gcells`` scales the per-layer capacity budget; the
+    promotion thresholds are length quantiles computed over this
+    design's segments, so every design uses its full stack.
+    """
+    h_layers = [l.index for l in technology.horizontal_layers()]
+    v_layers = [l.index for l in technology.vertical_layers()]
+    if not h_layers or not v_layers:
+        raise ValueError("technology must have both H and V layers")
+
+    lengths = np.array([s.length for s in result.segments.values()])
+    if lengths.size == 0:
+        return
+    q_mid, q_high = np.quantile(lengths, promote_quantiles[0]), np.quantile(
+        lengths, promote_quantiles[1]
+    )
+
+    # Rough per-tier budget: upper layers hold fewer, longer wires.
+    budget = {
+        "mid": grid_area_gcells * 4.0,
+        "high": grid_area_gcells * 1.5,
+    }
+    used = {"mid": 0.0, "high": 0.0}
+
+    def pick(layers: List[int], seg_len: float) -> int:
+        """Choose a layer index from ``layers`` (sorted low to high)."""
+        if len(layers) == 1:
+            return layers[0]
+        tier = 0
+        if seg_len >= q_high and len(layers) >= 3 and used["high"] < budget["high"]:
+            tier = 2
+            used["high"] += seg_len / max(technology.gcell_size, 1e-9)
+        elif seg_len >= q_mid and used["mid"] < budget["mid"]:
+            tier = 1
+            used["mid"] += seg_len / max(technology.gcell_size, 1e-9)
+        tier = min(tier, len(layers) - 1)
+        return layers[tier]
+
+    # Deterministic order: longest first, matching routing order.
+    for key in sorted(result.segments, key=lambda k: -result.segments[k].length):
+        seg = result.segments[key]
+        seg.h_layer = pick(h_layers, seg.length)
+        seg.v_layer = pick(v_layers, seg.length)
+        seg.vias = _count_vias(seg, technology)
+
+
+def _count_vias(seg: SegmentRoute, technology: Technology) -> int:
+    """Vias: bends switch H/V layer; endpoints drop to the pin layer."""
+    layer_gap = abs(seg.h_layer - seg.v_layer)
+    bend_vias = seg.bends * max(layer_gap, 1)
+    # Access vias from met1 (pins) up to whichever layer each end uses.
+    access = 0
+    if seg.h_length > 0:
+        access += seg.h_layer  # met1 is index 0
+    if seg.v_length > 0:
+        access += seg.v_layer
+    if seg.h_length == 0 and seg.v_length == 0:
+        access = 0
+    return bend_vias + access
+
+
+def segment_rc(
+    seg: SegmentRoute, technology: Technology
+) -> Tuple[float, float]:
+    """(resistance, capacitance) of a routed segment including vias."""
+    r_h, c_h = technology.wire_rc(seg.h_layer, seg.h_length)
+    r_v, c_v = technology.wire_rc(seg.v_layer, seg.v_length)
+    via_r = 0.0
+    via_c = 0.0
+    if seg.vias:
+        # Use the via between the two assigned layers as representative.
+        low, high = sorted((seg.h_layer, seg.v_layer))
+        if low == high:
+            high = min(high + 1, technology.num_layers - 1)
+        per_via_r = technology.via_stack_resistance(low, high) / max(high - low, 1)
+        via_r = per_via_r * seg.vias
+        via_c = technology.via_between(low, min(low + 1, technology.num_layers - 1)).capacitance * seg.vias if low < technology.num_layers - 1 else 0.0
+    return r_h + r_v + via_r, c_h + c_v + via_c

@@ -1,0 +1,42 @@
+"""Netlist substrate: data model, synthetic generator, named benchmarks.
+
+Replaces the OpenCores designs of the paper with seeded synthetic
+netlists that reproduce the *structural* properties the TSteiner
+pipeline depends on: register-bounded combinational cones, realistic
+fanout distributions, primary I/O, and per-design scale ratios matching
+Table I of the paper.
+"""
+
+from repro.netlist.netlist import (
+    CellInst,
+    Net,
+    Netlist,
+    Pin,
+    PinDirection,
+)
+from repro.netlist.generator import GeneratorConfig, generate_netlist
+from repro.netlist.benchmarks import (
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    BenchmarkSpec,
+    build_benchmark,
+)
+from repro.netlist.stats import NetlistStats, collect_stats
+
+__all__ = [
+    "CellInst",
+    "Net",
+    "Netlist",
+    "Pin",
+    "PinDirection",
+    "GeneratorConfig",
+    "generate_netlist",
+    "BENCHMARKS",
+    "TRAIN_BENCHMARKS",
+    "TEST_BENCHMARKS",
+    "BenchmarkSpec",
+    "build_benchmark",
+    "NetlistStats",
+    "collect_stats",
+]

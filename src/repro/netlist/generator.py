@@ -1,0 +1,232 @@
+"""Seeded synthetic netlist generator.
+
+Produces synchronous, register-bounded netlists with the structural
+features real RTL synthesis output exhibits:
+
+* combinational cones of configurable logic depth between registers;
+* a long-tailed fanout distribution (most nets drive 1-3 sinks, a few
+  control-like signals fan out widely);
+* a mix of cell drive strengths, inverters/buffers and 2-3 input gates;
+* primary I/O ports on the die boundary.
+
+Given the same :class:`GeneratorConfig` the output is bit-identical,
+which the benchmark recipes in :mod:`repro.netlist.benchmarks` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist, PinDirection
+from repro.pdk.clocks import ClockSpec
+from repro.pdk.liberty import CellLibrary, default_library
+from repro.pdk.technology import Technology, default_technology
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameters controlling one synthetic design."""
+
+    name: str
+    n_registers: int
+    n_comb: int
+    n_pi: int = 8
+    n_po: int = 8
+    depth: int = 12
+    seed: int = 0
+    clock_period: float = 1.0  # ns
+    utilization: float = 0.55
+    high_fanout_fraction: float = 0.01
+    cell_mix: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_registers < 1 or self.n_comb < self.depth:
+            raise ValueError("need at least one register and depth-many comb cells")
+        if not 0.0 < self.utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1)")
+
+
+_DEFAULT_MIX: Dict[str, float] = {
+    "INV_X1": 0.16,
+    "INV_X2": 0.08,
+    "INV_X4": 0.03,
+    "BUF_X2": 0.06,
+    "BUF_X4": 0.03,
+    "NAND2_X1": 0.22,
+    "NAND2_X2": 0.08,
+    "NOR2_X1": 0.12,
+    "AOI21_X1": 0.08,
+    "OAI21_X1": 0.06,
+    "XOR2_X1": 0.05,
+    "MUX2_X1": 0.03,
+}
+
+
+def _choose_driver(
+    rng: np.random.Generator,
+    candidates: np.ndarray,
+    fanout: np.ndarray,
+    hot_mask: np.ndarray,
+) -> int:
+    """Pick a driver pin, preferring low-fanout drivers.
+
+    Drivers flagged ``hot`` (control-like) keep a flat weight so a few
+    nets grow large fanouts, reproducing the long-tail distribution.
+    """
+    weights = np.where(hot_mask[candidates], 1.0, 1.0 / (1.0 + fanout[candidates]) ** 2)
+    weights_sum = weights.sum()
+    if weights_sum <= 0:
+        return int(rng.choice(candidates))
+    return int(rng.choice(candidates, p=weights / weights_sum))
+
+
+def generate_netlist(
+    config: GeneratorConfig,
+    library: Optional[CellLibrary] = None,
+    technology: Optional[Technology] = None,
+) -> Netlist:
+    """Generate a placed-later synthetic netlist from ``config``."""
+    library = library or default_library()
+    technology = technology or default_technology()
+    rng = np.random.default_rng(config.seed)
+    clock = ClockSpec(period=config.clock_period)
+    netlist = Netlist(config.name, library, technology, clock)
+
+    mix = config.cell_mix or _DEFAULT_MIX
+    mix_names = list(mix)
+    mix_probs = np.array([mix[n] for n in mix_names], dtype=np.float64)
+    mix_probs /= mix_probs.sum()
+
+    # ------------------------------------------------------------------
+    # Die size from total area and utilization (square floorplan).
+    # ------------------------------------------------------------------
+    dff = library["DFF_X1"]
+    mean_area = float(np.dot(mix_probs, [library[n].area for n in mix_names]))
+    total_sites = config.n_registers * dff.area + config.n_comb * mean_area
+    core_area = total_sites * technology.site_width * technology.row_height / config.utilization
+    die = float(np.sqrt(core_area))
+    # Round up to whole GCells so the routing grid tiles the die exactly.
+    gcells = max(2, int(np.ceil(die / technology.gcell_size)))
+    netlist.die_width = gcells * technology.gcell_size
+    netlist.die_height = gcells * technology.gcell_size
+
+    # ------------------------------------------------------------------
+    # Registers and ports.
+    # ------------------------------------------------------------------
+    regs = [netlist.add_cell(f"reg_{i}", dff) for i in range(config.n_registers)]
+
+    pi_pins: List[int] = []
+    for i in range(config.n_pi):
+        frac = (i + 0.5) / config.n_pi
+        pin = netlist.add_port(f"pi_{i}", PinDirection.OUTPUT, 0.0, frac * netlist.die_height)
+        pi_pins.append(pin.index)
+    po_pins: List[int] = []
+    for i in range(config.n_po):
+        frac = (i + 0.5) / config.n_po
+        pin = netlist.add_port(
+            f"po_{i}", PinDirection.INPUT, netlist.die_width, frac * netlist.die_height
+        )
+        po_pins.append(pin.index)
+
+    # ------------------------------------------------------------------
+    # Combinational fabric, level by level.
+    # ------------------------------------------------------------------
+    # Driver pool: (pin index, level).  Level 0 = startpoints.
+    driver_pins: List[int] = list(pi_pins) + [r.pin_indices["Q"] for r in regs]
+    driver_level: List[int] = [0] * len(driver_pins)
+
+    comb_levels = rng.integers(1, config.depth + 1, size=config.n_comb)
+    comb_levels.sort()
+
+    n_total_drivers = len(driver_pins) + config.n_comb
+    fanout = np.zeros(n_total_drivers, dtype=np.int64)
+    hot = rng.random(n_total_drivers) < config.high_fanout_fraction
+
+    driver_arr = np.zeros(n_total_drivers, dtype=np.int64)
+    level_arr = np.full(n_total_drivers, np.iinfo(np.int64).max, dtype=np.int64)
+    n_drivers = len(driver_pins)
+    driver_arr[:n_drivers] = driver_pins
+    level_arr[:n_drivers] = driver_level
+    sinks_of: Dict[int, List[int]] = {}
+
+    def attach(driver_slot: int, sink_pin: int) -> None:
+        pin_idx = int(driver_arr[driver_slot])
+        sinks_of.setdefault(pin_idx, []).append(sink_pin)
+        fanout[driver_slot] += 1
+
+    # Slots grouped by level; comb_levels is sorted, so by the time a
+    # level-L cell is built every lower-level driver is registered.
+    slots_by_level: Dict[int, List[int]] = {0: list(range(n_drivers))}
+    current_level = -1
+    prev_pool = np.empty(0, dtype=np.int64)
+    lower_pool = np.empty(0, dtype=np.int64)
+
+    for i, level in enumerate(comb_levels):
+        level = int(level)
+        if level != current_level:
+            current_level = level
+            prev_list = slots_by_level.get(level - 1, [])
+            prev_pool = np.array(prev_list, dtype=np.int64)
+            lower_pool = np.concatenate(
+                [np.array(slots_by_level.get(l, []), dtype=np.int64) for l in range(level)]
+            ) if level > 0 else np.empty(0, dtype=np.int64)
+        type_name = mix_names[int(rng.choice(len(mix_names), p=mix_probs))]
+        cell = netlist.add_cell(f"u_{i}", library[type_name])
+        in_pins = cell.cell_type.input_pins
+        # First input from the immediately preceding level when possible,
+        # guaranteeing the configured logic depth actually occurs.
+        first_pool = prev_pool if prev_pool.size else lower_pool
+        slot = _choose_driver(rng, first_pool, fanout, hot)
+        attach(slot, cell.pin_indices[in_pins[0]])
+        for pin_name in in_pins[1:]:
+            slot = _choose_driver(rng, lower_pool, fanout, hot)
+            attach(slot, cell.pin_indices[pin_name])
+        # Register this cell's output as a driver at its level.
+        driver_arr[n_drivers] = cell.pin_indices["Y"]
+        level_arr[n_drivers] = level
+        slots_by_level.setdefault(level, []).append(n_drivers)
+        n_drivers += 1
+
+    # ------------------------------------------------------------------
+    # Endpoint hookup: register D pins and POs take deep drivers.
+    # ------------------------------------------------------------------
+    deep = np.flatnonzero(level_arr >= max(1, config.depth - 2))
+    anywhere = np.flatnonzero(level_arr >= 1)
+    pool = deep if deep.size else anywhere
+    for reg in regs:
+        slot = _choose_driver(rng, pool, fanout, hot)
+        attach(slot, reg.pin_indices["D"])
+    for po in po_pins:
+        slot = _choose_driver(rng, pool, fanout, hot)
+        attach(slot, po)
+
+    # ------------------------------------------------------------------
+    # Dangling combinational outputs get a sink so no logic is dead:
+    # fold them into nearby register D-side loads as extra observers.
+    # Unused outputs are attached to spare PO-like observer ports.
+    # ------------------------------------------------------------------
+    unused = [
+        int(driver_arr[slot])
+        for slot in range(len(driver_arr))
+        if fanout[slot] == 0 and int(driver_arr[slot]) not in pi_pins
+    ]
+    observer_ports: List[int] = []
+    for j, pin_idx in enumerate(unused):
+        frac = (j + 0.5) / max(1, len(unused))
+        port = netlist.add_port(
+            f"obs_{j}", PinDirection.INPUT, frac * netlist.die_width, netlist.die_height
+        )
+        observer_ports.append(port.index)
+        sinks_of.setdefault(pin_idx, []).append(port.index)
+
+    # ------------------------------------------------------------------
+    # Materialize nets.
+    # ------------------------------------------------------------------
+    for driver_pin in sorted(sinks_of):
+        netlist.add_net(f"n_{driver_pin}", driver_pin, sinks_of[driver_pin])
+
+    netlist.validate()
+    return netlist

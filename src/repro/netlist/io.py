@@ -1,0 +1,177 @@
+"""Design serialization: save/load netlists and Steiner forests.
+
+A compact JSON-lines format (one object per line, section-tagged)
+covering everything needed to reproduce a flow run outside this
+process: cell instances with placement, ports, nets, die geometry,
+clock constraints, and optionally the Steiner forest's topology and
+coordinates.  Cell types are referenced by library name — the library
+itself is parametric (``default_library``) and regenerates identically,
+the same convention LEF/DEF uses for cells vs. instances.
+
+Not a DEF parser; a pragmatic interchange format for this repo's
+ecosystem (experiments, bug reports, golden files in tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist, PinDirection
+from repro.pdk.clocks import ClockSpec
+from repro.pdk.liberty import CellLibrary, default_library
+from repro.pdk.technology import Technology, default_technology
+from repro.steiner.forest import SteinerForest
+from repro.steiner.tree import SteinerTree
+
+FORMAT_VERSION = 1
+
+
+def save_design(
+    path: Union[str, Path],
+    netlist: Netlist,
+    forest: Optional[SteinerForest] = None,
+) -> None:
+    """Write ``netlist`` (and optionally ``forest``) to a .jsonl file."""
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "kind": "header",
+                "version": FORMAT_VERSION,
+                "name": netlist.name,
+                "die": [netlist.die_width, netlist.die_height],
+                "clock": {
+                    "period": netlist.clock.period,
+                    "uncertainty": netlist.clock.uncertainty,
+                    "latency": netlist.clock.latency,
+                    "input_delay": netlist.clock.input_delay,
+                    "output_delay": netlist.clock.output_delay,
+                },
+                "library": netlist.library.name,
+                "technology": netlist.technology.name,
+            }
+        )
+    ]
+    for cell in netlist.cells:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "cell",
+                    "name": cell.name,
+                    "type": cell.cell_type.name,
+                    "x": cell.x,
+                    "y": cell.y,
+                }
+            )
+        )
+    for pin in netlist.pins:
+        if pin.is_port:
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "port",
+                        "name": pin.name,
+                        "direction": pin.direction.value,
+                        "x": pin.offset[0],
+                        "y": pin.offset[1],
+                        "cap": pin.cap,
+                    }
+                )
+            )
+    for net in netlist.nets:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "net",
+                    "name": net.name,
+                    "driver": netlist.pins[net.driver].name,
+                    "sinks": [netlist.pins[s].name for s in net.sinks],
+                }
+            )
+        )
+    if forest is not None:
+        for tree in forest.trees:
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "tree",
+                        "net": netlist.nets[tree.net_index].name,
+                        "pins": [netlist.pins[p].name for p in tree.pin_ids],
+                        "steiner": tree.steiner_xy.tolist(),
+                        "edges": [list(e) for e in tree.edges],
+                    }
+                )
+            )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_design(
+    path: Union[str, Path],
+    library: Optional[CellLibrary] = None,
+    technology: Optional[Technology] = None,
+) -> Tuple[Netlist, Optional[SteinerForest]]:
+    """Read a design written by :func:`save_design`."""
+    path = Path(path)
+    library = library or default_library()
+    technology = technology or default_technology()
+
+    records = [json.loads(line) for line in path.read_text().splitlines() if line]
+    header = records[0]
+    if header.get("kind") != "header":
+        raise ValueError(f"{path}: missing header record")
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported format version {header.get('version')}")
+
+    clock = ClockSpec(**header["clock"])
+    netlist = Netlist(header["name"], library, technology, clock)
+    netlist.die_width, netlist.die_height = header["die"]
+
+    pin_by_name = {}
+    for rec in records[1:]:
+        if rec["kind"] == "cell":
+            cell = netlist.add_cell(rec["name"], library[rec["type"]])
+            cell.x, cell.y = rec["x"], rec["y"]
+        elif rec["kind"] == "port":
+            pin = netlist.add_port(
+                rec["name"],
+                PinDirection(rec["direction"]),
+                rec["x"],
+                rec["y"],
+                cap=rec["cap"],
+            )
+            pin_by_name[pin.name] = pin.index
+    for pin in netlist.pins:
+        pin_by_name[pin.name] = pin.index
+
+    trees = []
+    for rec in records[1:]:
+        if rec["kind"] == "net":
+            netlist.add_net(
+                rec["name"],
+                pin_by_name[rec["driver"]],
+                [pin_by_name[s] for s in rec["sinks"]],
+            )
+    net_by_name = {net.name: net.index for net in netlist.nets}
+    pos = netlist.pin_positions()
+    for rec in records[1:]:
+        if rec["kind"] == "tree":
+            pin_ids = [pin_by_name[p] for p in rec["pins"]]
+            trees.append(
+                SteinerTree(
+                    net_index=net_by_name[rec["net"]],
+                    pin_ids=pin_ids,
+                    pin_xy=pos[np.array(pin_ids, dtype=np.int64)],
+                    steiner_xy=np.array(rec["steiner"], dtype=np.float64).reshape(-1, 2),
+                    edges=[tuple(e) for e in rec["edges"]],
+                )
+            )
+
+    netlist.validate()
+    forest = SteinerForest(netlist, trees) if trees else None
+    if forest is not None:
+        forest.validate()
+    return netlist, forest

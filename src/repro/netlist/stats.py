@@ -1,0 +1,73 @@
+"""Netlist / Steiner-forest statistics — the columns of Table I.
+
+The paper counts graph elements as seen by the GNN:
+
+* ``cell_nodes`` — pin nodes of the netlist graph;
+* ``steiner_nodes`` — Steiner points of the constructed forest;
+* ``net_edges`` — edges of the Steiner graph (driver-to-sink paths
+  through Steiner points) plus netlist-graph net arcs;
+* ``cell_edges`` — intra-cell timing arcs;
+* ``endpoints`` — timing path endpoints (register D pins and POs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.steiner.forest import SteinerForest
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """One row of Table I."""
+
+    name: str
+    cell_nodes: int
+    steiner_nodes: int
+    net_edges: int
+    cell_edges: int
+    endpoints: int
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.cell_nodes,
+            self.steiner_nodes,
+            self.net_edges,
+            self.cell_edges,
+            self.endpoints,
+        )
+
+
+def collect_stats(netlist: Netlist, forest: Optional["SteinerForest"] = None) -> NetlistStats:
+    """Compute Table-I statistics for a netlist (+ optional forest)."""
+    steiner_nodes = 0
+    steiner_edges = 0
+    if forest is not None:
+        steiner_nodes = forest.num_steiner_points
+        steiner_edges = forest.num_edges
+    return NetlistStats(
+        name=netlist.name,
+        cell_nodes=netlist.num_pins,
+        steiner_nodes=steiner_nodes,
+        net_edges=len(netlist.net_edges()) + steiner_edges,
+        cell_edges=len(netlist.cell_edges()),
+        endpoints=len(netlist.endpoints()),
+    )
+
+
+def aggregate_stats(rows, name: str) -> NetlistStats:
+    """Sum a set of rows into a 'Total Train' / 'Total Test' row."""
+    rows = list(rows)
+    return NetlistStats(
+        name=name,
+        cell_nodes=sum(r.cell_nodes for r in rows),
+        steiner_nodes=sum(r.steiner_nodes for r in rows),
+        net_edges=sum(r.net_edges for r in rows),
+        cell_edges=sum(r.cell_edges for r in rows),
+        endpoints=sum(r.endpoints for r in rows),
+    )

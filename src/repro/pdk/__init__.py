@@ -1,0 +1,39 @@
+"""Technology substrate: routing stack, wire RC and NLDM cell library.
+
+Stands in for the SkyWater 130 nm PDK used by the paper.  The values are
+130 nm-plausible rather than extracted, but the *structure* is faithful:
+per-layer resistance/capacitance (so layer assignment changes delay),
+via resistance, lookup-table (input-slew x output-load) cell delay and
+output-slew models, and a clock specification that defines required
+times at endpoints.
+"""
+
+from repro.pdk.technology import (
+    RoutingLayer,
+    Technology,
+    ViaDef,
+    default_technology,
+)
+from repro.pdk.liberty import (
+    CellLibrary,
+    CellType,
+    LookupTable,
+    TimingArc,
+    TimingSense,
+    default_library,
+)
+from repro.pdk.clocks import ClockSpec
+
+__all__ = [
+    "RoutingLayer",
+    "Technology",
+    "ViaDef",
+    "default_technology",
+    "CellLibrary",
+    "CellType",
+    "LookupTable",
+    "TimingArc",
+    "TimingSense",
+    "default_library",
+    "ClockSpec",
+]

@@ -1,0 +1,51 @@
+"""Clock constraint specification.
+
+A single-clock synchronous design model: every register is clocked by
+one clock of ``period`` ns with optional source ``latency`` and
+``uncertainty`` (subtracted from required times, the usual sign-off
+pessimism).  Primary inputs launch at ``input_delay`` after the clock
+edge; primary outputs must arrive ``output_delay`` before the next one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """Timing constraints for a single-clock design."""
+
+    period: float  # ns
+    uncertainty: float = 0.05  # ns
+    latency: float = 0.0  # ns, source insertion delay
+    input_delay: float = 0.0  # ns at primary inputs
+    output_delay: float = 0.0  # ns margin at primary outputs
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("clock period must be positive")
+        if self.uncertainty < 0:
+            raise ValueError("uncertainty cannot be negative")
+
+    def required_at_register(self, setup_time: float) -> float:
+        """Required arrival time at a register data pin."""
+        return self.period + self.latency - setup_time - self.uncertainty
+
+    def required_at_output(self) -> float:
+        """Required arrival time at a primary output."""
+        return self.period - self.output_delay - self.uncertainty
+
+    def launch_time(self) -> float:
+        """Arrival time at register clock pins / PI launch edge."""
+        return self.latency
+
+    def scaled(self, factor: float) -> "ClockSpec":
+        """A copy with the period scaled by ``factor`` (for sweeps)."""
+        return ClockSpec(
+            period=self.period * factor,
+            uncertainty=self.uncertainty,
+            latency=self.latency,
+            input_delay=self.input_delay,
+            output_delay=self.output_delay,
+        )

@@ -1,0 +1,234 @@
+"""NLDM-style standard-cell timing library.
+
+Each cell arc carries two 2-D lookup tables indexed by (input slew,
+output load): propagation delay and output slew.  Lookup uses bilinear
+interpolation with clamped extrapolation, matching how sign-off STA
+engines consume ``.lib`` data.
+
+The default library is generated parametrically: per-cell drive
+resistance, intrinsic delay and input capacitance produce LUT grids via
+a first-order model ``delay = d0 + R_drive * C_load + k_s * slew_in``.
+Generating the grids (instead of hard-coding the closed form into the
+STA engine) keeps the engine honest — it only ever sees tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class TimingSense(enum.Enum):
+    """Unateness of a combinational arc (affects rise/fall pairing)."""
+
+    POSITIVE = "positive_unate"
+    NEGATIVE = "negative_unate"
+    NON_UNATE = "non_unate"
+
+
+@dataclass
+class LookupTable:
+    """2-D NLDM table: rows = input slew (ns), cols = output load (pF)."""
+
+    slew_axis: np.ndarray
+    load_axis: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.slew_axis = np.asarray(self.slew_axis, dtype=np.float64)
+        self.load_axis = np.asarray(self.load_axis, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape != (self.slew_axis.size, self.load_axis.size):
+            raise ValueError("LUT value grid does not match axes")
+        if np.any(np.diff(self.slew_axis) <= 0) or np.any(np.diff(self.load_axis) <= 0):
+            raise ValueError("LUT axes must be strictly increasing")
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation with clamping outside the grid."""
+        s = float(np.clip(slew, self.slew_axis[0], self.slew_axis[-1]))
+        c = float(np.clip(load, self.load_axis[0], self.load_axis[-1]))
+        i = int(np.clip(np.searchsorted(self.slew_axis, s) - 1, 0, self.slew_axis.size - 2))
+        j = int(np.clip(np.searchsorted(self.load_axis, c) - 1, 0, self.load_axis.size - 2))
+        s0, s1 = self.slew_axis[i], self.slew_axis[i + 1]
+        c0, c1 = self.load_axis[j], self.load_axis[j + 1]
+        ts = (s - s0) / (s1 - s0)
+        tc = (c - c0) / (c1 - c0)
+        v = self.values
+        return float(
+            v[i, j] * (1 - ts) * (1 - tc)
+            + v[i + 1, j] * ts * (1 - tc)
+            + v[i, j + 1] * (1 - ts) * tc
+            + v[i + 1, j + 1] * ts * tc
+        )
+
+    def lookup_many(self, slews: np.ndarray, loads: np.ndarray) -> np.ndarray:
+        """Vectorized bilinear lookup."""
+        s = np.clip(np.asarray(slews, dtype=np.float64), self.slew_axis[0], self.slew_axis[-1])
+        c = np.clip(np.asarray(loads, dtype=np.float64), self.load_axis[0], self.load_axis[-1])
+        i = np.clip(np.searchsorted(self.slew_axis, s) - 1, 0, self.slew_axis.size - 2)
+        j = np.clip(np.searchsorted(self.load_axis, c) - 1, 0, self.load_axis.size - 2)
+        s0, s1 = self.slew_axis[i], self.slew_axis[i + 1]
+        c0, c1 = self.load_axis[j], self.load_axis[j + 1]
+        ts = (s - s0) / (s1 - s0)
+        tc = (c - c0) / (c1 - c0)
+        v = self.values
+        return (
+            v[i, j] * (1 - ts) * (1 - tc)
+            + v[i + 1, j] * ts * (1 - tc)
+            + v[i, j + 1] * (1 - ts) * tc
+            + v[i + 1, j + 1] * ts * tc
+        )
+
+
+@dataclass
+class TimingArc:
+    """One input-pin -> output-pin arc of a cell."""
+
+    from_pin: str
+    to_pin: str
+    sense: TimingSense
+    delay: LookupTable
+    output_slew: LookupTable
+
+
+@dataclass
+class CellType:
+    """A library cell: pins, capacitances and timing arcs.
+
+    Sequential cells (``is_sequential``) have a clock pin; their data
+    input terminates timing paths (an endpoint) and their output starts
+    new ones with a clock-to-q arc.
+    """
+
+    name: str
+    input_pins: List[str]
+    output_pins: List[str]
+    pin_caps: Dict[str, float]  # pF per input pin
+    arcs: List[TimingArc]
+    drive_res: float  # kOhm, characteristic output resistance
+    is_sequential: bool = False
+    clock_pin: Optional[str] = None
+    setup_time: float = 0.0  # ns, sequential only
+    clk_to_q: float = 0.0  # ns intrinsic, sequential only
+    area: float = 1.0  # in sites
+
+    def __post_init__(self) -> None:
+        if self.is_sequential and not self.clock_pin:
+            raise ValueError(f"sequential cell {self.name} needs a clock pin")
+        for arc in self.arcs:
+            if arc.to_pin not in self.output_pins:
+                raise ValueError(f"{self.name}: arc drives unknown pin {arc.to_pin}")
+
+    def input_cap(self, pin: str) -> float:
+        return self.pin_caps[pin]
+
+    def arcs_to(self, output_pin: str) -> List[TimingArc]:
+        return [a for a in self.arcs if a.to_pin == output_pin]
+
+
+@dataclass
+class CellLibrary:
+    """Named collection of cell types."""
+
+    name: str
+    cells: Dict[str, CellType] = field(default_factory=dict)
+
+    def add(self, cell: CellType) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell {cell.name}")
+        self.cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> CellType:
+        return self.cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def combinational(self) -> List[CellType]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+    def sequential(self) -> List[CellType]:
+        return [c for c in self.cells.values() if c.is_sequential]
+
+
+_SLEW_AXIS = np.array([0.01, 0.05, 0.15, 0.40, 1.00, 2.50])  # ns
+_LOAD_AXIS = np.array([0.001, 0.005, 0.020, 0.060, 0.150, 0.400])  # pF
+
+
+def _make_tables(d0: float, drive_res: float, slew_sens: float) -> Tuple[LookupTable, LookupTable]:
+    """Generate (delay, output slew) LUTs from a first-order cell model."""
+    slew_grid, load_grid = np.meshgrid(_SLEW_AXIS, _LOAD_AXIS, indexing="ij")
+    delay = d0 + drive_res * load_grid + slew_sens * slew_grid
+    out_slew = 0.35 * d0 + 2.2 * drive_res * load_grid + 0.10 * slew_grid
+    return (
+        LookupTable(_SLEW_AXIS, _LOAD_AXIS, delay),
+        LookupTable(_SLEW_AXIS, _LOAD_AXIS, out_slew),
+    )
+
+
+def _comb_cell(
+    name: str,
+    inputs: Sequence[str],
+    d0: float,
+    drive_res: float,
+    in_cap: float,
+    sense: TimingSense = TimingSense.NEGATIVE,
+    area: float = 1.0,
+    slew_sens: float = 0.18,
+) -> CellType:
+    arcs = []
+    for pin in inputs:
+        delay_lut, slew_lut = _make_tables(d0, drive_res, slew_sens)
+        arcs.append(TimingArc(pin, "Y", sense, delay_lut, slew_lut))
+    return CellType(
+        name=name,
+        input_pins=list(inputs),
+        output_pins=["Y"],
+        pin_caps={p: in_cap for p in inputs},
+        arcs=arcs,
+        drive_res=drive_res,
+        area=area,
+    )
+
+
+def default_library() -> CellLibrary:
+    """A compact 130 nm-flavoured library.
+
+    Drive resistances span roughly 8x between the weakest inverter and
+    the strongest buffer so fanout/load effects are pronounced — this
+    is what makes Steiner-point placement visible in sign-off timing.
+    """
+    lib = CellLibrary(name="sim130_stdcells")
+    lib.add(_comb_cell("INV_X1", ["A"], d0=0.030, drive_res=6.0, in_cap=0.0022, area=1.0))
+    lib.add(_comb_cell("INV_X2", ["A"], d0=0.028, drive_res=3.2, in_cap=0.0041, area=1.5))
+    lib.add(_comb_cell("INV_X4", ["A"], d0=0.026, drive_res=1.7, in_cap=0.0080, area=2.5))
+    lib.add(_comb_cell("BUF_X2", ["A"], d0=0.065, drive_res=3.0, in_cap=0.0038, sense=TimingSense.POSITIVE, area=2.0))
+    lib.add(_comb_cell("BUF_X4", ["A"], d0=0.062, drive_res=1.6, in_cap=0.0072, sense=TimingSense.POSITIVE, area=3.0))
+    lib.add(_comb_cell("NAND2_X1", ["A", "B"], d0=0.042, drive_res=5.4, in_cap=0.0025, area=1.5))
+    lib.add(_comb_cell("NAND2_X2", ["A", "B"], d0=0.040, drive_res=2.9, in_cap=0.0047, area=2.0))
+    lib.add(_comb_cell("NOR2_X1", ["A", "B"], d0=0.055, drive_res=6.8, in_cap=0.0026, area=1.5))
+    lib.add(_comb_cell("AOI21_X1", ["A", "B", "C"], d0=0.068, drive_res=6.2, in_cap=0.0027, area=2.0))
+    lib.add(_comb_cell("OAI21_X1", ["A", "B", "C"], d0=0.070, drive_res=6.4, in_cap=0.0027, area=2.0))
+    lib.add(_comb_cell("XOR2_X1", ["A", "B"], d0=0.110, drive_res=5.8, in_cap=0.0044, sense=TimingSense.NON_UNATE, area=3.0))
+    lib.add(_comb_cell("MUX2_X1", ["A", "B", "S"], d0=0.095, drive_res=5.5, in_cap=0.0031, sense=TimingSense.NON_UNATE, area=3.0))
+
+    # D flip-flop: clk->Q launch arc; D is a path endpoint with setup.
+    delay_lut, slew_lut = _make_tables(d0=0.180, drive_res=4.2, slew_sens=0.05)
+    dff = CellType(
+        name="DFF_X1",
+        input_pins=["D", "CK"],
+        output_pins=["Q"],
+        pin_caps={"D": 0.0024, "CK": 0.0018},
+        arcs=[TimingArc("CK", "Q", TimingSense.NON_UNATE, delay_lut, slew_lut)],
+        drive_res=4.2,
+        is_sequential=True,
+        clock_pin="CK",
+        setup_time=0.085,
+        clk_to_q=0.180,
+        area=6.0,
+    )
+    lib.add(dff)
+    return lib

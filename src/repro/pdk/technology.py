@@ -1,0 +1,138 @@
+"""Routing stack description: metal layers, vias, grid geometry.
+
+Units used throughout the repository:
+
+* distance — micrometres (um)
+* resistance — kilo-ohms (kOhm)
+* capacitance — picofarads (pF)
+* time — nanoseconds (ns); conveniently kOhm x pF = ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class RoutingLayer:
+    """One metal layer of the routing stack.
+
+    ``direction`` is the preferred routing direction: ``"H"`` layers
+    carry horizontal wires, ``"V"`` vertical ones, matching the
+    alternating HVHV stack global routers assume.
+    """
+
+    name: str
+    index: int
+    direction: str  # "H" or "V"
+    res_per_um: float  # kOhm / um
+    cap_per_um: float  # pF / um
+    pitch: float  # um between adjacent tracks
+    min_width: float  # um
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("H", "V"):
+            raise ValueError(f"layer {self.name}: direction must be 'H' or 'V'")
+        if self.res_per_um <= 0 or self.cap_per_um <= 0:
+            raise ValueError(f"layer {self.name}: RC must be positive")
+
+
+@dataclass(frozen=True)
+class ViaDef:
+    """Via between two adjacent layers."""
+
+    name: str
+    lower: int
+    upper: int
+    resistance: float  # kOhm
+    capacitance: float  # pF
+
+
+@dataclass
+class Technology:
+    """Full routing technology: layers, vias and GCell geometry."""
+
+    name: str
+    layers: List[RoutingLayer]
+    vias: List[ViaDef]
+    gcell_size: float = 6.0  # um per GCell edge (~15 met2 tracks), CUGR-like
+    site_width: float = 0.46  # um, standard-cell site
+    row_height: float = 2.72  # um, standard-cell row
+
+    def __post_init__(self) -> None:
+        for i, layer in enumerate(self.layers):
+            if layer.index != i:
+                raise ValueError("layer indices must be contiguous from 0")
+        expected = {(v.lower, v.upper) for v in self.vias}
+        for i in range(len(self.layers) - 1):
+            if (i, i + 1) not in expected:
+                raise ValueError(f"missing via between layers {i} and {i + 1}")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def layer(self, index: int) -> RoutingLayer:
+        return self.layers[index]
+
+    def via_between(self, lower: int, upper: int) -> ViaDef:
+        if upper < lower:
+            lower, upper = upper, lower
+        for via in self.vias:
+            if via.lower == lower and via.upper == upper:
+                return via
+        raise KeyError(f"no via between layers {lower} and {upper}")
+
+    def via_stack_resistance(self, from_layer: int, to_layer: int) -> float:
+        """Total resistance of the via stack between two layers."""
+        low, high = sorted((from_layer, to_layer))
+        return sum(self.via_between(i, i + 1).resistance for i in range(low, high))
+
+    def wire_rc(self, layer_index: int, length: float) -> Tuple[float, float]:
+        """(resistance, capacitance) of a wire of ``length`` um on a layer."""
+        layer = self.layers[layer_index]
+        return layer.res_per_um * length, layer.cap_per_um * length
+
+    def horizontal_layers(self) -> List[RoutingLayer]:
+        return [l for l in self.layers if l.direction == "H"]
+
+    def vertical_layers(self) -> List[RoutingLayer]:
+        return [l for l in self.layers if l.direction == "V"]
+
+    def tracks_per_gcell(self, layer_index: int) -> int:
+        """Routing tracks crossing one GCell edge on a layer."""
+        layer = self.layers[layer_index]
+        return max(1, int(self.gcell_size / layer.pitch))
+
+
+def default_technology() -> Technology:
+    """A six-metal 130 nm-like stack.
+
+    Lower layers are resistive and dense; upper layers are fast and
+    sparse — the property timing-driven layer assignment exploits.
+
+    Coordinate compression: the synthetic benchmarks place paper-scale
+    netlists on dies tens of um across, ~30x smaller linearly than the
+    real designs.  Per-um wire RC is therefore scaled up (r x75, c x5
+    over raw SkyWater numbers) so that a wire spanning the die carries
+    the same RC delay a mm-scale route would — without this, wire delay
+    would be sub-femtosecond noise and Steiner refinement would have
+    nothing physical to optimize.
+    """
+    layers = [
+        RoutingLayer("met1", 0, "H", res_per_um=1.50e-1, cap_per_um=1.1e-3, pitch=0.34, min_width=0.14),
+        RoutingLayer("met2", 1, "V", res_per_um=9.40e-2, cap_per_um=1.0e-3, pitch=0.46, min_width=0.14),
+        RoutingLayer("met3", 2, "H", res_per_um=3.55e-2, cap_per_um=0.95e-3, pitch=0.68, min_width=0.30),
+        RoutingLayer("met4", 3, "V", res_per_um=3.55e-2, cap_per_um=0.90e-3, pitch=0.92, min_width=0.30),
+        RoutingLayer("met5", 4, "H", res_per_um=0.60e-2, cap_per_um=0.80e-3, pitch=3.40, min_width=1.60),
+        RoutingLayer("met6", 5, "V", res_per_um=0.23e-2, cap_per_um=0.75e-3, pitch=3.40, min_width=1.60),
+    ]
+    vias = [
+        ViaDef("via1", 0, 1, resistance=4.5e-3, capacitance=1.0e-4),
+        ViaDef("via2", 1, 2, resistance=3.4e-3, capacitance=1.0e-4),
+        ViaDef("via3", 2, 3, resistance=3.4e-3, capacitance=1.0e-4),
+        ViaDef("via4", 3, 4, resistance=0.38e-3, capacitance=1.2e-4),
+        ViaDef("via5", 4, 5, resistance=0.38e-3, capacitance=1.2e-4),
+    ]
+    return Technology(name="sim130", layers=layers, vias=vias)

@@ -1,0 +1,12 @@
+"""Placement substrate: force-directed global placement + legalization.
+
+Stands in for the Cadence Innovus placement the paper starts from.
+Quality target is modest — TSteiner treats placement as fixed input —
+but the placer must produce *correlated* geometry (connected cells
+near each other, realistic net spans) or Steiner refinement would be
+optimizing noise.
+"""
+
+from repro.placement.placer import PlacementConfig, place
+
+__all__ = ["PlacementConfig", "place"]

@@ -1,0 +1,5 @@
+"""GCell grid substrate shared by global routing and edge shifting."""
+
+from repro.routegrid.grid import GCellGrid
+
+__all__ = ["GCellGrid"]

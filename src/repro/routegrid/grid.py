@@ -1,0 +1,155 @@
+"""GCell routing grid with per-direction capacity accounting.
+
+The grid follows the usual global-routing abstraction: the die is
+tiled into square GCells; routing demand crosses GCell *edges*.
+Horizontal wire crossing the boundary between cell (i, j) and
+(i+1, j) consumes horizontal capacity ``cap_h[i, j]``; vertical wire
+between (i, j) and (i, j+1) consumes ``cap_v[i, j]``.
+
+Capacities aggregate the track counts of all layers in the matching
+preferred direction, derated by a blockage factor representing pin
+density and power straps (commercial grids are likewise derated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.pdk.technology import Technology
+
+
+class GCellGrid:
+    """Capacity/usage bookkeeping over the GCell tiling."""
+
+    def __init__(
+        self,
+        die_width: float,
+        die_height: float,
+        technology: Technology,
+        derate: float = 0.7,
+    ) -> None:
+        self.technology = technology
+        self.gcell = technology.gcell_size
+        self.nx = max(1, int(np.ceil(die_width / self.gcell)))
+        self.ny = max(1, int(np.ceil(die_height / self.gcell)))
+        h_tracks = sum(
+            technology.tracks_per_gcell(l.index) for l in technology.horizontal_layers()
+        )
+        v_tracks = sum(
+            technology.tracks_per_gcell(l.index) for l in technology.vertical_layers()
+        )
+        # cap_h[i, j]: capacity of the boundary between (i, j) and (i+1, j).
+        self.cap_h = np.full((max(self.nx - 1, 1), self.ny), h_tracks * derate)
+        self.cap_v = np.full((self.nx, max(self.ny - 1, 1)), v_tracks * derate)
+        self.use_h = np.zeros_like(self.cap_h)
+        self.use_v = np.zeros_like(self.cap_v)
+        # History cost for negotiation-based rip-up-and-reroute.
+        self.hist_h = np.zeros_like(self.cap_h)
+        self.hist_v = np.zeros_like(self.cap_v)
+
+    # ------------------------------------------------------------------
+    def locate(self, x: float, y: float) -> Tuple[int, int]:
+        """GCell indices containing point (x, y)."""
+        return (
+            int(np.clip(x / self.gcell, 0, self.nx - 1)),
+            int(np.clip(y / self.gcell, 0, self.ny - 1)),
+        )
+
+    def center(self, gx: int, gy: int) -> Tuple[float, float]:
+        return ((gx + 0.5) * self.gcell, (gy + 0.5) * self.gcell)
+
+    # ------------------------------------------------------------------
+    # Edge-level accounting.  Edges are identified by (direction, i, j):
+    # 'H' edge (i, j) spans cells (i, j)-(i+1, j).
+    # ------------------------------------------------------------------
+    def edge_cost(self, direction: str, i: int, j: int, overflow_penalty: float = 8.0) -> float:
+        """Congestion-aware cost of crossing one GCell boundary."""
+        if direction == "H":
+            cap, use, hist = self.cap_h[i, j], self.use_h[i, j], self.hist_h[i, j]
+        else:
+            cap, use, hist = self.cap_v[i, j], self.use_v[i, j], self.hist_v[i, j]
+        utilization = (use + 1.0) / max(cap, 1e-9)
+        cost = 1.0 + hist
+        if utilization > 1.0:
+            cost += overflow_penalty * (utilization - 1.0) ** 2
+        elif utilization > 0.7:
+            cost += (utilization - 0.7) * 2.0
+        return cost
+
+    def add_usage(self, direction: str, i: int, j: int, amount: float = 1.0) -> None:
+        if direction == "H":
+            self.use_h[i, j] += amount
+        else:
+            self.use_v[i, j] += amount
+
+    def bump_history(self, increment: float = 0.5) -> None:
+        """Raise history cost on currently-overflowed edges (NCR style)."""
+        over_h = self.use_h > self.cap_h
+        over_v = self.use_v > self.cap_v
+        self.hist_h[over_h] += increment
+        self.hist_v[over_v] += increment
+
+    # ------------------------------------------------------------------
+    def horizontal_run(self, gy: int, gx1: int, gx2: int) -> Iterator[Tuple[str, int, int]]:
+        """Edges crossed by a horizontal run at row gy from gx1 to gx2."""
+        lo, hi = sorted((gx1, gx2))
+        for i in range(lo, hi):
+            yield ("H", i, gy)
+
+    def vertical_run(self, gx: int, gy1: int, gy2: int) -> Iterator[Tuple[str, int, int]]:
+        lo, hi = sorted((gy1, gy2))
+        for j in range(lo, hi):
+            yield ("V", gx, j)
+
+    # ------------------------------------------------------------------
+    def overflow(self) -> float:
+        """Total overflow across all edges (0 when congestion-free)."""
+        return float(
+            np.maximum(self.use_h - self.cap_h, 0.0).sum()
+            + np.maximum(self.use_v - self.cap_v, 0.0).sum()
+        )
+
+    def max_utilization(self) -> float:
+        u_h = (self.use_h / np.maximum(self.cap_h, 1e-9)).max() if self.use_h.size else 0.0
+        u_v = (self.use_v / np.maximum(self.cap_v, 1e-9)).max() if self.use_v.size else 0.0
+        return float(max(u_h, u_v))
+
+    def overflow_map(self) -> np.ndarray:
+        """(nx, ny) per-GCell overflow heat map (for the DRV model)."""
+        heat = np.zeros((self.nx, self.ny))
+        over_h = np.maximum(self.use_h - self.cap_h, 0.0)
+        over_v = np.maximum(self.use_v - self.cap_v, 0.0)
+        if over_h.size:
+            heat[: self.nx - 1, :] += over_h
+            heat[1:, :] += over_h
+        if over_v.size:
+            heat[:, : self.ny - 1] += over_v
+            heat[:, 1:] += over_v
+        return heat
+
+    def utilization_map(self) -> np.ndarray:
+        """(nx, ny) per-GCell utilization (use/capacity, max over dirs).
+
+        A smooth-ish congestion field: 0 in empty regions, ~1 at
+        capacity, >1 where overflowed.  The timing evaluator samples it
+        bilinearly as a differentiable feature of Steiner positions.
+        """
+        field = np.zeros((self.nx, self.ny))
+        if self.use_h.size:
+            u_h = self.use_h / np.maximum(self.cap_h, 1e-9)
+            field[: self.nx - 1, :] = np.maximum(field[: self.nx - 1, :], u_h)
+            field[1:, :] = np.maximum(field[1:, :], u_h)
+        if self.use_v.size:
+            u_v = self.use_v / np.maximum(self.cap_v, 1e-9)
+            field[:, : self.ny - 1] = np.maximum(field[:, : self.ny - 1], u_v)
+            field[:, 1:] = np.maximum(field[:, 1:], u_v)
+        return field
+
+    def reset_usage(self) -> None:
+        self.use_h[:] = 0.0
+        self.use_v[:] = 0.0
+        self.hist_h[:] = 0.0
+        self.hist_v[:] = 0.0

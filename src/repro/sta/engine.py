@@ -1,0 +1,213 @@
+"""PERT-traversal timing engine.
+
+One pass over the pins in topological order computes lumped
+(worst-of-rise/fall) arrival times and slews:
+
+* startpoints (PIs, register CK pins) get launch values from the clock
+  spec;
+* a cell output's arrival is the max over input arcs of
+  ``arrival(in) + NLDM_delay(slew(in), load)``;
+* a net sink's arrival is ``arrival(driver) + elmore(sink)`` with PERI
+  slew degradation.
+
+Endpoint slacks, WNS, TNS and the violation count follow Eq. (1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.groute.router import GlobalRouteResult
+from repro.netlist.netlist import Netlist, PinDirection
+from repro.sta.rctree import compute_net_timing
+from repro.steiner.forest import SteinerForest
+
+DEFAULT_INPUT_SLEW = 0.08  # ns at startpoints
+
+
+@dataclass
+class TimingReport:
+    """Full result of one STA run."""
+
+    arrival: np.ndarray  # ns per pin (NaN where unreached)
+    slew: np.ndarray  # ns per pin
+    required: Dict[int, float]  # endpoint pin -> required time
+    slack: Dict[int, float]  # endpoint pin -> slack
+    wns: float
+    tns: float
+    num_violations: int
+    net_load: Dict[int, float] = field(default_factory=dict)  # net -> cap (pF)
+
+    def endpoint_arrivals(self) -> Dict[int, float]:
+        return {p: float(self.arrival[p]) for p in self.slack}
+
+    def worst_endpoint(self) -> int:
+        return min(self.slack, key=self.slack.get)
+
+
+class STAEngine:
+    """Reusable engine bound to a netlist; run per Steiner solution."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.technology = netlist.technology
+        self.library = netlist.library
+        self.clock = netlist.clock
+        self._topo = netlist.topological_pin_order()
+        self._startpoints = set(netlist.startpoints())
+        self._endpoints = netlist.endpoints()
+        # Pre-index: output pin -> (cell, arcs grouped by input pin).
+        self._cell_arcs: Dict[int, List[Tuple[int, object]]] = {}
+        for cell in netlist.cells:
+            ct = cell.cell_type
+            for out_name in ct.output_pins:
+                out_pin = cell.pin_indices[out_name]
+                arcs = []
+                for arc in ct.arcs_to(out_name):
+                    in_pin = cell.pin_indices[arc.from_pin]
+                    arcs.append((in_pin, arc))
+                self._cell_arcs[out_pin] = arcs
+        # Clock pins (ideal network).
+        self._clock_pins = set()
+        for cell in netlist.registers():
+            self._clock_pins.add(cell.pin_indices[cell.cell_type.clock_pin])
+        # Sink pin -> driving net.
+        self._driver_of: Dict[int, int] = {}
+        for net in netlist.nets:
+            for s in net.sinks:
+                self._driver_of[s] = net.index
+        # Endpoint required times.
+        self._required: Dict[int, float] = {}
+        for cell in netlist.registers():
+            ct = cell.cell_type
+            for in_name in ct.input_pins:
+                if in_name != ct.clock_pin:
+                    self._required[cell.pin_indices[in_name]] = self.clock.required_at_register(
+                        ct.setup_time
+                    )
+        for port in netlist.primary_outputs():
+            self._required[port.index] = self.clock.required_at_output()
+
+    # ------------------------------------------------------------------
+    #: coupling-capacitance coefficient: c_eff = c * (1 + K * utilization)
+    COUPLING_K = 0.8
+
+    def run(
+        self,
+        forest: SteinerForest,
+        route_result: Optional[GlobalRouteResult] = None,
+        utilization: Optional[np.ndarray] = None,
+    ) -> TimingReport:
+        """Time the design under the given Steiner forest / routes.
+
+        ``utilization`` is the post-route GCell congestion field; when
+        provided, wire capacitance picks up a coupling term that grows
+        with local density (see ``repro.sta.rctree._coupling_factor``).
+        """
+        netlist = self.netlist
+        n_pins = netlist.num_pins
+        arrival = np.full(n_pins, np.nan)
+        slew = np.full(n_pins, DEFAULT_INPUT_SLEW)
+
+        # ---- per-net wire timing ----
+        pin_caps = {p.index: p.cap for p in netlist.pins if p.direction == PinDirection.INPUT}
+        net_timing: Dict[int, object] = {}
+        net_load: Dict[int, float] = {}
+        tree_idx_of_net: Dict[int, int] = {}
+        for t_idx, tree in enumerate(forest.trees):
+            sink_caps = {p: pin_caps.get(p, 0.0) for p in tree.pin_ids[1:]}
+            nt = compute_net_timing(
+                tree,
+                sink_caps,
+                self.technology,
+                route_result=route_result,
+                tree_idx=t_idx,
+                utilization=utilization,
+                coupling_k=self.COUPLING_K,
+            )
+            net_timing[tree.net_index] = nt
+            net_load[tree.net_index] = nt.total_cap
+            tree_idx_of_net[tree.net_index] = t_idx
+
+        # Nets without trees (degenerate): zero wire delay, lumped caps.
+        for net in netlist.nets:
+            if net.index not in net_timing:
+                total = sum(pin_caps.get(s, 0.0) for s in net.sinks)
+                net_load[net.index] = total
+
+        # ---- launch values ----
+        launch = self.clock.launch_time()
+        for port in netlist.primary_inputs():
+            arrival[port.index] = launch + self.clock.input_delay
+            slew[port.index] = DEFAULT_INPUT_SLEW
+        for ck_pin in self._clock_pins:
+            arrival[ck_pin] = launch
+            slew[ck_pin] = DEFAULT_INPUT_SLEW
+
+        # ---- PERT traversal ----
+        for pin_idx in self._topo:
+            pin = netlist.pins[pin_idx]
+            if pin_idx in self._clock_pins or (pin.is_port and pin.direction == PinDirection.OUTPUT):
+                continue  # launch values already set
+            if pin.direction == PinDirection.OUTPUT:
+                arcs = self._cell_arcs.get(pin_idx, [])
+                net_idx = netlist.pin_net_map()[pin_idx]
+                load = net_load.get(int(net_idx), 0.0) if net_idx >= 0 else 0.0
+                best_arr = -np.inf
+                best_slew = DEFAULT_INPUT_SLEW
+                for in_pin, arc in arcs:
+                    a_in = arrival[in_pin]
+                    if np.isnan(a_in):
+                        continue
+                    d = arc.delay.lookup(float(slew[in_pin]), load)
+                    a_out = a_in + d
+                    if a_out > best_arr:
+                        best_arr = a_out
+                        best_slew = arc.output_slew.lookup(float(slew[in_pin]), load)
+                if best_arr > -np.inf:
+                    arrival[pin_idx] = best_arr
+                    slew[pin_idx] = best_slew
+            else:
+                # Net sink: wire delay from the driving net.
+                net_idx = self._driver_of.get(pin_idx)
+                if net_idx is None:
+                    continue
+                nt = net_timing.get(net_idx)
+                driver = netlist.nets[net_idx].driver
+                a_drv = arrival[driver]
+                if np.isnan(a_drv):
+                    continue
+                if nt is None:
+                    arrival[pin_idx] = a_drv
+                    slew[pin_idx] = slew[driver]
+                else:
+                    wire_d = nt.sink_delay.get(pin_idx, 0.0)
+                    arrival[pin_idx] = a_drv + wire_d
+                    slew[pin_idx] = math.sqrt(
+                        float(slew[driver]) ** 2 + nt.sink_slew_degradation.get(pin_idx, 0.0)
+                    )
+
+        # ---- slacks ----
+        slack: Dict[int, float] = {}
+        for ep in self._endpoints:
+            req = self._required[ep]
+            arr = arrival[ep]
+            slack[ep] = float(req - arr) if not np.isnan(arr) else float(req - launch)
+        wns = min(slack.values()) if slack else 0.0
+        tns = sum(min(0.0, s) for s in slack.values())
+        num_vios = sum(1 for s in slack.values() if s < 0.0)
+
+        return TimingReport(
+            arrival=arrival,
+            slew=slew,
+            required=dict(self._required),
+            slack=slack,
+            wns=float(wns),
+            tns=float(tns),
+            num_violations=num_vios,
+            net_load=net_load,
+        )

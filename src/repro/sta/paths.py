@@ -1,0 +1,143 @@
+"""Critical-path extraction (the ``report_timing`` of this engine).
+
+Given a :class:`TimingReport` and the netlist, traces the worst timing
+paths endpoint-to-startpoint by walking arrival-time predecessors, and
+formats them the way sign-off tools print path reports: one line per
+pin with incremental and cumulative delay.
+
+Used by examples and by tests that check path-level consistency (the
+sum of increments must equal the endpoint arrival).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist, PinDirection
+from repro.sta.engine import TimingReport
+
+
+@dataclass
+class PathStep:
+    """One pin on a timing path."""
+
+    pin: int
+    pin_name: str
+    arrival: float
+    increment: float
+    kind: str  # "launch", "cell", "net"
+
+
+@dataclass
+class TimingPath:
+    """A start-to-end timing path with its slack."""
+
+    endpoint: int
+    slack: float
+    steps: List[PathStep]
+
+    @property
+    def startpoint(self) -> int:
+        return self.steps[0].pin
+
+    @property
+    def delay(self) -> float:
+        return self.steps[-1].arrival - self.steps[0].arrival
+
+    def format(self) -> str:
+        lines = [
+            f"Path to {self.steps[-1].pin_name}  slack {self.slack:+.4f} ns",
+            f"  {'pin':40s} {'incr':>8s} {'arrival':>9s}  kind",
+        ]
+        for s in self.steps:
+            lines.append(
+                f"  {s.pin_name:40s} {s.increment:8.4f} {s.arrival:9.4f}  {s.kind}"
+            )
+        return "\n".join(lines)
+
+
+def extract_critical_paths(
+    netlist: Netlist,
+    report: TimingReport,
+    n_paths: int = 5,
+) -> List[TimingPath]:
+    """The ``n_paths`` worst endpoint paths, most negative slack first."""
+    ranked = sorted(report.slack.items(), key=lambda kv: kv[1])[:n_paths]
+    return [trace_path(netlist, report, ep) for ep, _ in ranked]
+
+
+def trace_path(netlist: Netlist, report: TimingReport, endpoint: int) -> TimingPath:
+    """Walk backward from ``endpoint`` along worst-arrival predecessors."""
+    driver_of: Dict[int, int] = {}
+    for net in netlist.nets:
+        for s in net.sinks:
+            driver_of[s] = net.driver
+    # Output pin -> candidate (input pin, arc) predecessors.
+    cell_preds: Dict[int, List[int]] = {}
+    for cell in netlist.cells:
+        ct = cell.cell_type
+        if ct.is_sequential:
+            for out in ct.output_pins:
+                cell_preds[cell.pin_indices[out]] = [cell.pin_indices[ct.clock_pin]]
+        else:
+            for out in ct.output_pins:
+                cell_preds[cell.pin_indices[out]] = [
+                    cell.pin_indices[i] for i in ct.input_pins
+                ]
+
+    startpoints = set(netlist.startpoints())
+    clock_pins = {
+        c.pin_indices[c.cell_type.clock_pin] for c in netlist.registers()
+    }
+    chain: List[Tuple[int, str]] = [(endpoint, "end")]
+    current = endpoint
+    guard = 0
+    while guard < 10 * netlist.num_pins:
+        guard += 1
+        pin = netlist.pins[current]
+        if current in clock_pins or (pin.is_port and pin.direction == PinDirection.OUTPUT):
+            break  # reached a launch point
+        if pin.direction == PinDirection.INPUT and current in driver_of:
+            current = driver_of[current]
+            chain.append((current, "net"))
+            continue
+        if pin.direction == PinDirection.OUTPUT and current in cell_preds:
+            # Worst predecessor: the input whose arrival is largest
+            # (ties broken deterministically by pin index).
+            preds = cell_preds[current]
+            arrivals = [
+                report.arrival[p] if np.isfinite(report.arrival[p]) else -np.inf
+                for p in preds
+            ]
+            current = preds[int(np.argmax(arrivals))]
+            chain.append((current, "cell"))
+            continue
+        break  # dangling input or PI reached
+
+    chain.reverse()
+    steps: List[PathStep] = []
+    prev_arrival: Optional[float] = None
+    for pin_idx, _ in chain:
+        arrival = float(report.arrival[pin_idx])
+        incr = 0.0 if prev_arrival is None else arrival - prev_arrival
+        if prev_arrival is None:
+            label = "launch"
+        else:
+            pin = netlist.pins[pin_idx]
+            label = "net" if pin.direction == PinDirection.INPUT else "cell"
+        steps.append(
+            PathStep(
+                pin=pin_idx,
+                pin_name=netlist.pins[pin_idx].name,
+                arrival=arrival,
+                increment=incr,
+                kind=label,
+            )
+        )
+        prev_arrival = arrival
+    return TimingPath(
+        endpoint=endpoint, slack=float(report.slack[endpoint]), steps=steps
+    )

@@ -1,0 +1,20 @@
+"""Steiner tree substrate.
+
+Implements what FLUTE + edge shifting provide in the paper's flow:
+rectilinear Steiner tree construction per net, a forest container with
+flat movable-coordinate views (the optimization variables of TSteiner),
+and congestion-driven edge shifting.
+"""
+
+from repro.steiner.tree import SteinerTree
+from repro.steiner.forest import SteinerForest, build_forest
+from repro.steiner.rsmt import construct_tree
+from repro.steiner.edge_shifting import shift_edges
+
+__all__ = [
+    "SteinerTree",
+    "SteinerForest",
+    "build_forest",
+    "construct_tree",
+    "shift_edges",
+]

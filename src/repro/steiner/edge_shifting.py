@@ -1,0 +1,138 @@
+"""Congestion-driven edge shifting (Pan & Chu, FastRoute).
+
+After initial tree construction the paper applies "the edge shifting
+technique for congestion alleviation": sliding a tree edge within the
+span allowed by its endpoints to a less congested position, without
+changing tree topology or wirelength.
+
+Our variant moves *Steiner points* whose incident edges form a sliding
+window: a Steiner node with a horizontal trunk can slide vertically
+within the span of its neighbours (and vice versa).  Candidate
+positions are GCell centres; the one minimizing the congestion cost of
+the incident edges wins.  Wirelength never increases (positions outside
+the neighbour span are not considered).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.steiner.forest import SteinerForest
+from repro.steiner.tree import SteinerTree
+
+# A congestion probe: maps (x1, y1, x2, y2) of an L-route to a cost.
+CongestionProbe = Callable[[float, float, float, float], float]
+
+
+def _slide_candidates(low: float, high: float, step: float) -> np.ndarray:
+    """Candidate coordinates between two neighbours, on a GCell lattice."""
+    if high - low < step:
+        return np.array([(low + high) * 0.5])
+    start = np.ceil(low / step) * step
+    return np.arange(start, high + 1e-9, step)
+
+
+def shift_tree_edges(
+    tree: SteinerTree,
+    probe: CongestionProbe,
+    gcell: float,
+) -> int:
+    """Shift the Steiner points of one tree; returns number of moves."""
+    moves = 0
+    adj = tree.adjacency()
+    for node in range(tree.n_pins, tree.n_nodes):
+        neighbours = adj[node]
+        if not 2 <= len(neighbours) <= 3:
+            continue
+        xy = tree.node_xy()
+        nxy = xy[neighbours]
+        local = node - tree.n_pins
+        here = tree.steiner_xy[local].copy()
+
+        best_cost = _node_cost(here, nxy, probe)
+        best_pos = here.copy()
+        # Slide in x within the neighbour x-span, then in y.
+        for axis in (0, 1):
+            low, high = float(nxy[:, axis].min()), float(nxy[:, axis].max())
+            for cand in _slide_candidates(low, high, gcell):
+                pos = here.copy()
+                pos[axis] = cand
+                cost = _node_cost(pos, nxy, probe)
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_pos = pos.copy()
+        if not np.array_equal(best_pos, here):
+            tree.steiner_xy[local] = best_pos
+            moves += 1
+    return moves
+
+
+def _node_cost(pos: np.ndarray, neighbour_xy: np.ndarray, probe: CongestionProbe) -> float:
+    """Congestion + wirelength cost of the edges at a candidate position."""
+    cost = 0.0
+    for n in neighbour_xy:
+        cost += probe(float(pos[0]), float(pos[1]), float(n[0]), float(n[1]))
+        cost += 1e-3 * (abs(pos[0] - n[0]) + abs(pos[1] - n[1]))  # WL tie-break
+    return cost
+
+
+def shift_edges(
+    forest: SteinerForest,
+    probe: Optional[CongestionProbe] = None,
+    passes: int = 1,
+) -> int:
+    """Run edge shifting over the whole forest; returns total moves.
+
+    Without a probe (no congestion map yet), a density self-estimate is
+    built from the forest's own segments: edges crossing popular GCells
+    cost more, so trunks spread out — the effect FastRoute's edge
+    shifting has before global routing.
+    """
+    gcell = forest.netlist.technology.gcell_size
+    if probe is None:
+        probe = _self_density_probe(forest, gcell)
+    total = 0
+    for _ in range(passes):
+        moved = 0
+        for tree in forest.trees:
+            if tree.n_steiner:
+                moved += shift_tree_edges(tree, probe, gcell)
+        total += moved
+        if moved == 0:
+            break
+    return total
+
+
+def _self_density_probe(forest: SteinerForest, gcell: float) -> CongestionProbe:
+    """Estimate congestion from the forest's current segment density."""
+    nx = max(1, int(np.ceil(forest.netlist.die_width / gcell)))
+    ny = max(1, int(np.ceil(forest.netlist.die_height / gcell)))
+    density = np.zeros((nx, ny), dtype=np.float64)
+
+    def bucket(x: float, y: float) -> Tuple[int, int]:
+        return (
+            int(np.clip(x / gcell, 0, nx - 1)),
+            int(np.clip(y / gcell, 0, ny - 1)),
+        )
+
+    for _, (x1, y1), (x2, y2) in forest.two_pin_segments():
+        b1 = bucket(x1, y1)
+        b2 = bucket(x2, y2)
+        for bx in range(min(b1[0], b2[0]), max(b1[0], b2[0]) + 1):
+            density[bx, b1[1]] += 1.0
+        for by in range(min(b1[1], b2[1]), max(b1[1], b2[1]) + 1):
+            density[b2[0], by] += 1.0
+
+    def probe(x1: float, y1: float, x2: float, y2: float) -> float:
+        b1 = bucket(x1, y1)
+        b2 = bucket(x2, y2)
+        cost = 0.0
+        for bx in range(min(b1[0], b2[0]), max(b1[0], b2[0]) + 1):
+            cost += density[bx, b1[1]]
+        for by in range(min(b1[1], b2[1]), max(b1[1], b2[1]) + 1):
+            cost += density[b2[0], by]
+        return cost
+
+    return probe

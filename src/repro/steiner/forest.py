@@ -1,0 +1,136 @@
+"""Steiner forest: one tree per net, with flat coordinate views.
+
+The refinement loop of TSteiner treats all Steiner points of a design
+as a single ``(S, 2)`` coordinate matrix (concurrent refinement).  The
+forest owns the mapping between that flat view and per-tree storage,
+plus boundary clamping against the routing grid and the final rounding
+post-processing step Fig. 4 of the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.steiner.rsmt import construct_tree
+from repro.steiner.tree import SteinerTree
+
+
+class SteinerForest:
+    """All Steiner trees of a design."""
+
+    def __init__(self, netlist: Netlist, trees: List[SteinerTree]) -> None:
+        self.netlist = netlist
+        self.trees = trees
+        self._offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+        for i, tree in enumerate(trees):
+            self._offsets[i + 1] = self._offsets[i] + tree.n_steiner
+
+    # ------------------------------------------------------------------
+    @property
+    def num_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def num_steiner_points(self) -> int:
+        return int(self._offsets[-1])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(t.edges) for t in self.trees)
+
+    def tree_for_net(self, net_index: int) -> SteinerTree:
+        for tree in self.trees:
+            if tree.net_index == net_index:
+                return tree
+        raise KeyError(f"no tree for net {net_index}")
+
+    def steiner_slice(self, tree_idx: int) -> slice:
+        """Flat-view slice holding tree ``tree_idx``'s Steiner points."""
+        return slice(int(self._offsets[tree_idx]), int(self._offsets[tree_idx + 1]))
+
+    # ------------------------------------------------------------------
+    # Flat coordinate view
+    # ------------------------------------------------------------------
+    def get_steiner_coords(self) -> np.ndarray:
+        """(S, 2) concatenated Steiner coordinates (copy)."""
+        if self.num_steiner_points == 0:
+            return np.zeros((0, 2))
+        return np.vstack([t.steiner_xy for t in self.trees if t.n_steiner > 0])
+
+    def set_steiner_coords(self, coords: np.ndarray) -> None:
+        """Write a flat (S, 2) coordinate matrix back into the trees."""
+        coords = np.asarray(coords, dtype=np.float64).reshape(-1, 2)
+        if coords.shape[0] != self.num_steiner_points:
+            raise ValueError(
+                f"expected {self.num_steiner_points} Steiner points, got {coords.shape[0]}"
+            )
+        for i, tree in enumerate(self.trees):
+            if tree.n_steiner:
+                tree.steiner_xy = coords[self.steiner_slice(i)].copy()
+
+    def clamp_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Clamp a flat coordinate matrix to the routing-grid boundary."""
+        out = np.asarray(coords, dtype=np.float64).reshape(-1, 2).copy()
+        np.clip(out[:, 0], 0.0, self.netlist.die_width, out=out[:, 0])
+        np.clip(out[:, 1], 0.0, self.netlist.die_height, out=out[:, 1])
+        return out
+
+    @staticmethod
+    def round_array(coords: np.ndarray) -> np.ndarray:
+        """Snap coordinates to the 0.01 um manufacturing grid."""
+        return np.round(np.asarray(coords, dtype=np.float64) * 100.0) / 100.0
+
+    def round_coords(self) -> None:
+        """Post-processing: snap Steiner coordinates to integer dbu.
+
+        The paper rounds final positions onto the grid; we round to the
+        nearest 0.01 um (a 10 nm manufacturing grid).
+        """
+        for tree in self.trees:
+            if tree.n_steiner:
+                tree.steiner_xy = self.round_array(tree.steiner_xy)
+
+    # ------------------------------------------------------------------
+    def total_wirelength(self) -> float:
+        return float(sum(t.wirelength() for t in self.trees))
+
+    def two_pin_segments(self) -> List[Tuple[int, Tuple[float, float], Tuple[float, float]]]:
+        """All tree edges as (net_index, (x1, y1), (x2, y2)) segments.
+
+        This is the decomposition of multi-pin nets into two-pin nets
+        that global routing consumes.
+        """
+        segments = []
+        for tree in self.trees:
+            for a, b in tree.segments():
+                segments.append((tree.net_index, a, b))
+        return segments
+
+    def copy(self) -> "SteinerForest":
+        return SteinerForest(self.netlist, [t.copy() for t in self.trees])
+
+    def validate(self) -> None:
+        for tree in self.trees:
+            tree.validate()
+
+    def refresh_pin_positions(self) -> None:
+        """Re-read pin coordinates from the netlist (after re-placement)."""
+        pos = self.netlist.pin_positions()
+        for tree in self.trees:
+            tree.pin_xy = pos[np.array(tree.pin_ids, dtype=np.int64)]
+
+
+def build_forest(netlist: Netlist, skip_degenerate: bool = True) -> SteinerForest:
+    """Construct initial Steiner trees for every net of ``netlist``."""
+    pos = netlist.pin_positions()
+    trees: List[SteinerTree] = []
+    for net in netlist.nets:
+        pins = net.pins
+        if skip_degenerate and len(pins) < 2:
+            continue
+        tree = construct_tree(net.index, pins, pos[np.array(pins, dtype=np.int64)])
+        trees.append(tree)
+    return SteinerForest(netlist, trees)

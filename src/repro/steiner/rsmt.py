@@ -1,0 +1,217 @@
+"""Rectilinear Steiner tree construction (FLUTE substitute).
+
+Strategy by net degree:
+
+* 1 pin — degenerate, no edges;
+* 2 pins — direct connection with one corner Steiner node when the
+  pins are not axis-aligned (the L-bend);
+* 3 pins — the exact rectilinear median point ``(median(x), median(y))``
+  is the optimal single Steiner point;
+* 4+ pins — rectilinear minimum spanning tree (Prim) over the pins,
+  followed by L-corner insertion per MST edge and a Steinerization pass
+  that merges corners landing on existing nodes.
+
+The result is wirelength-competitive with FLUTE for the net degrees
+real netlists are dominated by (97 %+ of nets have <= 4 pins) and, more
+importantly for this reproduction, yields movable Steiner nodes on
+essentially every net — the degrees of freedom TSteiner optimizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.steiner.tree import SteinerTree
+
+
+def _prim_mst(points: np.ndarray) -> List[Tuple[int, int]]:
+    """Rectilinear MST over ``points`` via dense Prim (fine to ~hundreds)."""
+    n = points.shape[0]
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = np.abs(points - points[0]).sum(axis=1)
+    best_from = np.zeros(n, dtype=np.int64)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        candidates = np.where(in_tree, np.inf, best_dist)
+        nxt = int(np.argmin(candidates))
+        edges.append((int(best_from[nxt]), nxt))
+        in_tree[nxt] = True
+        dist_new = np.abs(points - points[nxt]).sum(axis=1)
+        closer = dist_new < best_dist
+        best_dist = np.where(closer, dist_new, best_dist)
+        best_from = np.where(closer, nxt, best_from)
+    return edges
+
+
+def _corner_for(a: np.ndarray, b: np.ndarray, toward: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+    """Corner of the L-route from ``a`` to ``b``; None if axis-aligned.
+
+    Two L-shapes exist; pick the corner closer to ``toward`` (typically
+    the net centroid) so initial trees are compact, or the
+    (b.x, a.y) corner by default.
+    """
+    if a[0] == b[0] or a[1] == b[1]:
+        return None
+    c1 = np.array([b[0], a[1]])
+    c2 = np.array([a[0], b[1]])
+    if toward is None:
+        return c1
+    d1 = np.abs(c1 - toward).sum()
+    d2 = np.abs(c2 - toward).sum()
+    return c1 if d1 <= d2 else c2
+
+
+def construct_tree(net_index: int, pin_ids: List[int], pin_xy: np.ndarray) -> SteinerTree:
+    """Build the initial Steiner tree for one net."""
+    pin_xy = np.asarray(pin_xy, dtype=np.float64).reshape(-1, 2)
+    n = pin_xy.shape[0]
+    if n != len(pin_ids):
+        raise ValueError("pin_ids and pin_xy disagree")
+
+    if n == 1:
+        return SteinerTree(net_index, pin_ids, pin_xy, np.zeros((0, 2)), [])
+
+    if n == 2:
+        corner = _corner_for(pin_xy[0], pin_xy[1])
+        if corner is None:
+            return SteinerTree(net_index, pin_ids, pin_xy, np.zeros((0, 2)), [(0, 1)])
+        return SteinerTree(
+            net_index, pin_ids, pin_xy, corner.reshape(1, 2), [(0, 2), (2, 1)]
+        )
+
+    if n == 3:
+        median = np.median(pin_xy, axis=0)
+        if any(np.all(median == pin_xy[i]) for i in range(3)):
+            # Median coincides with a pin: star from that pin, with
+            # corner points for non-aligned legs.
+            hub = next(i for i in range(3) if np.all(median == pin_xy[i]))
+            return _star_tree(net_index, pin_ids, pin_xy, hub)
+        steiner = [median]
+        edges = []
+        node_median = 3
+        next_id = 4
+        for i in range(3):
+            corner = _corner_for(pin_xy[i], median)
+            if corner is None:
+                edges.append((i, node_median))
+            else:
+                steiner.append(corner)
+                edges.append((i, next_id))
+                edges.append((next_id, node_median))
+                next_id += 1
+        tree = SteinerTree(net_index, pin_ids, pin_xy, np.array(steiner), edges)
+        tree.prune_degree2_steiner()
+        return tree
+
+    return _mst_based_tree(net_index, pin_ids, pin_xy)
+
+
+def _star_tree(net_index: int, pin_ids: List[int], pin_xy: np.ndarray, hub: int) -> SteinerTree:
+    """Connect every pin to pin ``hub`` with L-corners as needed."""
+    steiner: List[np.ndarray] = []
+    edges: List[Tuple[int, int]] = []
+    next_id = pin_xy.shape[0]
+    for i in range(pin_xy.shape[0]):
+        if i == hub:
+            continue
+        corner = _corner_for(pin_xy[i], pin_xy[hub])
+        if corner is None:
+            edges.append((i, hub))
+        else:
+            steiner.append(corner)
+            edges.append((i, next_id))
+            edges.append((next_id, hub))
+            next_id += 1
+    steiner_arr = np.array(steiner).reshape(-1, 2) if steiner else np.zeros((0, 2))
+    return SteinerTree(net_index, pin_ids, pin_xy, steiner_arr, edges)
+
+
+def _mst_based_tree(net_index: int, pin_ids: List[int], pin_xy: np.ndarray) -> SteinerTree:
+    """RMST + L-corner Steinerization for nets of degree >= 4."""
+    n = pin_xy.shape[0]
+    centroid = pin_xy.mean(axis=0)
+    mst_edges = _prim_mst(pin_xy)
+
+    steiner: List[np.ndarray] = []
+    edges: List[Tuple[int, int]] = []
+    next_id = n
+    for u, v in mst_edges:
+        corner = _corner_for(pin_xy[u], pin_xy[v], toward=centroid)
+        if corner is None:
+            edges.append((u, v))
+        else:
+            steiner.append(corner)
+            edges.append((u, next_id))
+            edges.append((next_id, v))
+            next_id += 1
+
+    steiner_arr = np.array(steiner).reshape(-1, 2) if steiner else np.zeros((0, 2))
+    tree = SteinerTree(net_index, pin_ids, pin_xy, steiner_arr, edges)
+    _merge_coincident_steiner(tree)
+    tree.prune_leaf_steiner()
+    tree.validate()
+    return tree
+
+
+def _merge_coincident_steiner(tree: SteinerTree) -> None:
+    """Merge Steiner nodes that landed on identical coordinates.
+
+    MST corners frequently coincide (shared trunk patterns); merging
+    them produces proper degree-3+ Steiner topology instead of parallel
+    duplicated points, and removes zero-length edges.
+    """
+    while True:
+        xy = tree.node_xy()
+        coords = {}
+        dup: Optional[Tuple[int, int]] = None
+        for node in range(tree.n_nodes):
+            key = (float(xy[node][0]), float(xy[node][1]))
+            if key in coords:
+                keep = coords[key]
+                # Prefer keeping a pin node over a Steiner node.
+                if tree.is_steiner_node(keep) and not tree.is_steiner_node(node):
+                    keep, node = node, keep
+                if tree.is_steiner_node(node):
+                    dup = (keep, node)
+                    break
+            else:
+                coords[key] = node
+        if dup is None:
+            return
+        keep, drop = dup
+        new_edges = []
+        for u, v in tree.edges:
+            u2 = keep if u == drop else u
+            v2 = keep if v == drop else v
+            if u2 != v2 and (u2, v2) not in new_edges and (v2, u2) not in new_edges:
+                new_edges.append((u2, v2))
+        local = drop - tree.n_pins
+        tree.steiner_xy = np.delete(tree.steiner_xy, local, axis=0)
+        remap = lambda w: w - 1 if w > drop else w
+        tree.edges = [(remap(u), remap(v)) for u, v in new_edges]
+        _break_cycles(tree)
+
+
+def _break_cycles(tree: SteinerTree) -> None:
+    """Drop redundant edges if merging created a cycle (keep spanning tree)."""
+    n = tree.n_nodes
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    kept: List[Tuple[int, int]] = []
+    xy = tree.node_xy()
+    # Keep shortest edges first so cycles drop their longest chord.
+    for u, v in sorted(tree.edges, key=lambda e: float(np.abs(xy[e[0]] - xy[e[1]]).sum())):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            kept.append((u, v))
+    tree.edges = kept

@@ -1,0 +1,204 @@
+"""Single-net Steiner tree.
+
+Node numbering convention: nodes ``0 .. n_pins-1`` are pin nodes in the
+order of ``pin_ids`` (index 0 is always the net's driver); nodes
+``n_pins .. n_pins+n_steiner-1`` are Steiner nodes.  Pin positions are
+fixed (owned by placement); Steiner positions are the movable state.
+
+Edges are undirected pairs; a valid tree has exactly
+``n_nodes - 1`` edges and is connected.  Edge length is rectilinear
+(L1), matching how each two-pin segment is realized as an L-shaped
+route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SteinerTree:
+    """Steiner tree of one net."""
+
+    net_index: int
+    pin_ids: List[int]  # global pin indices; [0] is the driver
+    pin_xy: np.ndarray  # (n_pins, 2) fixed coordinates
+    steiner_xy: np.ndarray  # (n_steiner, 2) movable coordinates
+    edges: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.pin_xy = np.asarray(self.pin_xy, dtype=np.float64).reshape(-1, 2)
+        self.steiner_xy = np.asarray(self.steiner_xy, dtype=np.float64).reshape(-1, 2)
+        if len(self.pin_ids) != self.pin_xy.shape[0]:
+            raise ValueError("pin_ids and pin_xy disagree")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pins(self) -> int:
+        return len(self.pin_ids)
+
+    @property
+    def n_steiner(self) -> int:
+        return self.steiner_xy.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_pins + self.n_steiner
+
+    def node_xy(self) -> np.ndarray:
+        """(n_nodes, 2) positions, pins first then Steiner nodes."""
+        if self.n_steiner == 0:
+            return self.pin_xy.copy()
+        return np.vstack([self.pin_xy, self.steiner_xy])
+
+    def is_steiner_node(self, node: int) -> bool:
+        return node >= self.n_pins
+
+    def edge_lengths(self) -> np.ndarray:
+        """Rectilinear length of every edge."""
+        xy = self.node_xy()
+        if not self.edges:
+            return np.zeros(0)
+        e = np.asarray(self.edges, dtype=np.int64)
+        d = np.abs(xy[e[:, 0]] - xy[e[:, 1]])
+        return d[:, 0] + d[:, 1]
+
+    def wirelength(self) -> float:
+        return float(self.edge_lengths().sum())
+
+    # ------------------------------------------------------------------
+    def adjacency(self) -> List[List[int]]:
+        adj: List[List[int]] = [[] for _ in range(self.n_nodes)]
+        for u, v in self.edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        return adj
+
+    def validate(self) -> None:
+        """Check tree-ness: edge count, connectivity, index bounds."""
+        n = self.n_nodes
+        if n == 1:
+            if self.edges:
+                raise ValueError("single-node tree must have no edges")
+            return
+        if len(self.edges) != n - 1:
+            raise ValueError(
+                f"net {self.net_index}: {len(self.edges)} edges for {n} nodes (want {n - 1})"
+            )
+        for u, v in self.edges:
+            if not (0 <= u < n and 0 <= v < n) or u == v:
+                raise ValueError(f"net {self.net_index}: bad edge ({u}, {v})")
+        seen = [False] * n
+        stack = [0]
+        seen[0] = True
+        adj = self.adjacency()
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        if not all(seen):
+            raise ValueError(f"net {self.net_index}: tree is disconnected")
+
+    def driver_paths(self) -> List[List[int]]:
+        """Node path from the driver (node 0) to every sink pin node."""
+        parent = self._parents_from_driver()
+        paths: List[List[int]] = []
+        for sink_node in range(1, self.n_pins):
+            path = [sink_node]
+            while path[-1] != 0:
+                path.append(parent[path[-1]])
+            paths.append(list(reversed(path)))
+        return paths
+
+    def _parents_from_driver(self) -> List[int]:
+        parent = [-1] * self.n_nodes
+        adj = self.adjacency()
+        stack = [0]
+        visited = [False] * self.n_nodes
+        visited[0] = True
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if not visited[v]:
+                    visited[v] = True
+                    parent[v] = u
+                    stack.append(v)
+        return parent
+
+    def directed_edges(self) -> List[Tuple[int, int]]:
+        """Edges oriented away from the driver (parent -> child)."""
+        parent = self._parents_from_driver()
+        return [(parent[v], v) for v in range(self.n_nodes) if parent[v] >= 0]
+
+    def segments(self) -> Iterator[Tuple[Tuple[float, float], Tuple[float, float]]]:
+        """Yield ((x1, y1), (x2, y2)) per edge at current positions."""
+        xy = self.node_xy()
+        for u, v in self.edges:
+            yield (tuple(xy[u]), tuple(xy[v]))
+
+    def copy(self) -> "SteinerTree":
+        return SteinerTree(
+            net_index=self.net_index,
+            pin_ids=list(self.pin_ids),
+            pin_xy=self.pin_xy.copy(),
+            steiner_xy=self.steiner_xy.copy(),
+            edges=list(self.edges),
+        )
+
+    def prune_degree2_steiner(self) -> None:
+        """Remove Steiner nodes of degree 2 whose removal keeps a tree.
+
+        Such nodes add optimization variables without adding topology;
+        construction calls this to normalize trees.  Degree-2 corner
+        points are *kept* only if their two edges are not collinear —
+        the corner carries geometric meaning (an L-bend).
+        """
+        changed = True
+        while changed:
+            changed = False
+            adj = self.adjacency()
+            xy = self.node_xy()
+            for node in range(self.n_pins, self.n_nodes):
+                if len(adj[node]) != 2:
+                    continue
+                a, b = adj[node]
+                # Collinear if the node lies on the bounding path of a-b
+                # in one coordinate: both edges purely horizontal or
+                # both purely vertical through the node.
+                same_x = xy[a][0] == xy[node][0] == xy[b][0]
+                same_y = xy[a][1] == xy[node][1] == xy[b][1]
+                if not (same_x or same_y):
+                    continue
+                self._remove_steiner_node(node, a, b)
+                changed = True
+                break
+
+    def prune_leaf_steiner(self) -> None:
+        """Remove Steiner nodes of degree <= 1 (never useful in a tree)."""
+        changed = True
+        while changed:
+            changed = False
+            adj = self.adjacency()
+            for node in range(self.n_pins, self.n_nodes):
+                if len(adj[node]) <= 1:
+                    self.edges = [e for e in self.edges if node not in e]
+                    local = node - self.n_pins
+                    self.steiner_xy = np.delete(self.steiner_xy, local, axis=0)
+                    remap = lambda u: u - 1 if u > node else u
+                    self.edges = [(remap(u), remap(v)) for u, v in self.edges]
+                    changed = True
+                    break
+
+    def _remove_steiner_node(self, node: int, a: int, b: int) -> None:
+        new_edges = [e for e in self.edges if node not in e]
+        new_edges.append((a, b))
+        # Renumber: drop the Steiner row, shift higher node ids down.
+        local = node - self.n_pins
+        self.steiner_xy = np.delete(self.steiner_xy, local, axis=0)
+        remap = lambda u: u - 1 if u > node else u
+        self.edges = [(remap(u), remap(v)) for u, v in new_edges]

@@ -1,0 +1,44 @@
+"""Learning-assisted sign-off timing evaluator (the paper's Section III-A).
+
+Architecture overview (mirrors Fig. 3 of the paper):
+
+1. **Steiner graph** — node-heterogeneous (pin nodes vs Steiner nodes),
+   edge-heterogeneous (Steiner edges vs net edges).  Three iterations
+   of *broadcast* (driver -> sinks along Steiner edges) and *reduce*
+   (sinks -> driver along net edges) message passing fuse Steiner
+   geometry into per-sink embeddings.  Steiner node coordinates are the
+   only tensors with ``requires_grad`` — exactly as in the paper.
+2. **Netlist graph** — heterogeneous with cell edges and net edges.
+   Pin embeddings propagate in topological (levelized) order, and the
+   model predicts per-pin arrival time with a timing-engine-inspired
+   accumulation (reference [13] of the paper): learned non-negative
+   edge delays added along paths, max-reduced at multi-input cells.
+
+The evaluator is trained against the sign-off STA oracle and then used
+frozen inside the TSteiner refinement loop, where backpropagation
+yields the per-Steiner-point position gradients of the smoothed
+WNS/TNS penalty.
+"""
+
+from repro.timing_model.graph import TimingGraph, build_timing_graph
+from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+from repro.timing_model.dataset import DesignSample, make_sample
+from repro.timing_model.train import TrainerConfig, train_evaluator, r2_score
+from repro.timing_model.baseline import LinearBaseline, pin_features
+from repro.timing_model.serialize import load_evaluator, save_evaluator
+
+__all__ = [
+    "TimingGraph",
+    "build_timing_graph",
+    "EvaluatorConfig",
+    "TimingEvaluator",
+    "DesignSample",
+    "make_sample",
+    "TrainerConfig",
+    "train_evaluator",
+    "r2_score",
+    "LinearBaseline",
+    "pin_features",
+    "load_evaluator",
+    "save_evaluator",
+]

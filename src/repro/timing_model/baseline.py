@@ -1,0 +1,113 @@
+"""Feature-engineered linear baseline for arrival-time prediction.
+
+Before GNN evaluators, pre-routing timing predictors were regressions
+over handcrafted features (the paper's reference [10]).  This baseline
+reproduces that approach: per-pin features assembled by one topological
+sweep, fit with ordinary least squares.  Table III-style comparisons
+against it quantify what the two-graph GNN actually buys.
+
+Features per pin:
+
+* topological level (cell+net arcs);
+* accumulated characteristic cell delay along the longest path;
+* accumulated wire length along that path;
+* driving-net wirelength and driver resistance;
+* fanout of the driving net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.timing_model.dataset import DesignSample
+from repro.timing_model.graph import TimingGraph
+from repro.timing_model.train import r2_score
+
+N_FEATURES = 7
+
+
+def pin_features(graph: TimingGraph) -> np.ndarray:
+    """(n_pins, N_FEATURES) engineered feature matrix."""
+    n = graph.n_pins
+    level = graph.pin_level.astype(np.float64)
+    acc_cell = np.zeros(n)
+    acc_wire = np.zeros(n)
+    drive_wl = np.zeros(n)
+    drive_res = np.zeros(n)
+    fanout = np.zeros(n)
+
+    # Per-net wirelength from current Steiner geometry.
+    net_wl = np.zeros(graph.n_nets)
+    for tree in graph.forest.trees:
+        net_wl[tree.net_index] = tree.wirelength()
+
+    sink_count = np.zeros(graph.n_nets)
+    for lv in graph.levels:
+        np.add.at(sink_count, lv.net_of_sink, 1.0)
+
+    # Longest-path accumulations in level order.
+    for lv in graph.levels:
+        if lv.net_sink.size:
+            wl = net_wl[lv.net_of_sink]
+            np.maximum.at(acc_wire, lv.net_sink, acc_wire[lv.net_driver] + wl)
+            np.maximum.at(acc_cell, lv.net_sink, acc_cell[lv.net_driver])
+            drive_wl[lv.net_sink] = wl
+            drive_res[lv.net_sink] = graph.net_drive_res[lv.net_of_sink]
+            fanout[lv.net_sink] = sink_count[lv.net_of_sink]
+        if lv.cell_in.size:
+            contrib = acc_cell[lv.cell_in] + lv.cell_feat[:, 0]
+            np.maximum.at(acc_cell, lv.cell_out, contrib)
+            np.maximum.at(acc_wire, lv.cell_out, acc_wire[lv.cell_in])
+
+    return np.column_stack(
+        [
+            level,
+            acc_cell,
+            acc_wire * 0.01,
+            drive_wl * 0.01,
+            drive_res * 0.1,
+            fanout,
+            np.ones(n),
+        ]
+    )
+
+
+@dataclass
+class LinearBaseline:
+    """OLS arrival-time predictor over engineered features."""
+
+    weights: Optional[np.ndarray] = None
+
+    def fit(self, samples: Sequence[DesignSample]) -> "LinearBaseline":
+        rows: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for sample in samples:
+            if not sample.is_train:
+                continue
+            feats = pin_features(sample.graph)
+            mask = sample.label_mask
+            rows.append(feats[mask])
+            targets.append(sample.arrival_label[mask])
+        if not rows:
+            raise ValueError("no training samples")
+        x = np.vstack(rows)
+        y = np.concatenate(targets)
+        self.weights, *_ = np.linalg.lstsq(x, y, rcond=None)
+        return self
+
+    def predict(self, graph: TimingGraph) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() first")
+        return pin_features(graph) @ self.weights
+
+    def evaluate(self, samples: Sequence[DesignSample]) -> Dict[str, float]:
+        """Per-design all-pins R² (comparable to Table III)."""
+        scores: Dict[str, float] = {}
+        for sample in samples:
+            pred = self.predict(sample.graph)
+            mask = sample.label_mask
+            scores[sample.name] = r2_score(sample.arrival_label[mask], pred[mask])
+        return scores

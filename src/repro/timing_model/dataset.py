@@ -1,0 +1,71 @@
+"""Training data assembly: designs + sign-off labels.
+
+A :class:`DesignSample` bundles everything one design contributes to
+evaluator training: the static :class:`TimingGraph`, the initial flat
+Steiner coordinates, and the sign-off arrival-time labels produced by
+running the full flow (global route -> sign-off STA) once.
+
+In the paper the labels come from Cadence Innovus sign-off reports;
+here they come from :class:`repro.sta.STAEngine` run on the routed
+design — the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.groute.router import GlobalRouteResult
+from repro.netlist.netlist import Netlist
+from repro.sta.engine import STAEngine, TimingReport
+from repro.steiner.forest import SteinerForest
+from repro.timing_model.graph import TimingGraph, build_timing_graph
+
+
+@dataclass
+class DesignSample:
+    """One design ready for evaluator training / evaluation."""
+
+    name: str
+    graph: TimingGraph
+    steiner_coords: np.ndarray  # (S, 2) initial coordinates
+    arrival_label: np.ndarray  # (n_pins,) sign-off arrivals (NaN unreached)
+    label_mask: np.ndarray  # (n_pins,) bool — valid training targets
+    is_train: bool = True
+    report: Optional[TimingReport] = None
+
+    @property
+    def endpoint_mask(self) -> np.ndarray:
+        mask = np.zeros_like(self.label_mask)
+        mask[self.graph.endpoints] = True
+        return mask & self.label_mask
+
+
+def make_sample(
+    netlist: Netlist,
+    forest: SteinerForest,
+    route_result: Optional[GlobalRouteResult],
+    is_train: bool = True,
+    engine: Optional[STAEngine] = None,
+    congestion: Optional[np.ndarray] = None,
+) -> DesignSample:
+    """Run the sign-off oracle and package a training sample."""
+    engine = engine or STAEngine(netlist)
+    report = engine.run(forest, route_result, utilization=congestion)
+    graph = build_timing_graph(netlist, forest, congestion=congestion)
+    arrival = report.arrival.copy()
+    mask = graph.reachable & ~np.isnan(arrival)
+    # Exclude launch-only pins (PIs, clock pins) — they carry constants,
+    # not predictions, and would inflate R² without testing the model.
+    mask[graph.startpoints] = False
+    return DesignSample(
+        name=netlist.name,
+        graph=graph,
+        steiner_coords=forest.get_steiner_coords(),
+        arrival_label=arrival,
+        label_mask=mask,
+        is_train=is_train,
+        report=report,
+    )

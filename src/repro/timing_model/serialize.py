@@ -1,0 +1,42 @@
+"""Evaluator checkpointing.
+
+Saves/loads a trained :class:`TimingEvaluator` to a single ``.npz``
+file: the numpy state dict plus the :class:`EvaluatorConfig` fields.
+Used by the experiment harness to reuse a trained model across
+processes, and by downstream users who train once and refine many
+designs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_evaluator(model: TimingEvaluator, path: Union[str, Path]) -> None:
+    """Write the model's weights and config to ``path`` (.npz)."""
+    path = Path(path)
+    payload = dict(model.state_dict())
+    config_json = json.dumps(dataclasses.asdict(model.config))
+    payload[_CONFIG_KEY] = np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_evaluator(path: Union[str, Path]) -> TimingEvaluator:
+    """Reconstruct a :class:`TimingEvaluator` saved by :func:`save_evaluator`."""
+    path = Path(path)
+    with np.load(path) as data:
+        raw = bytes(data[_CONFIG_KEY].tobytes())
+        config = EvaluatorConfig(**json.loads(raw.decode("utf-8")))
+        state = {k: data[k] for k in data.files if k != _CONFIG_KEY}
+    model = TimingEvaluator(config)
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,138 @@
+"""Dependency-free visualization: SVG and ASCII renderings.
+
+Real physical-design work lives and dies by looking at pictures; this
+module renders the three artifacts users ask for most, without pulling
+in matplotlib:
+
+* :func:`render_design_svg` — die, cells, Steiner trees (optionally a
+  congestion underlay) as a standalone SVG string;
+* :func:`congestion_ascii` — a terminal heat map of GCell utilization;
+* :func:`slack_histogram_ascii` — endpoint slack distribution.
+
+Writing the SVG to a file and opening it in any browser shows the
+placement and routing trees of a design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.steiner.forest import SteinerForest
+
+_SVG_HEADER = (
+    '<svg xmlns="http://www.w3.org/2000/svg" viewBox="{vb}" '
+    'width="{w}" height="{h}" style="background:#fff">'
+)
+
+
+def render_design_svg(
+    netlist: Netlist,
+    forest: Optional[SteinerForest] = None,
+    congestion: Optional[np.ndarray] = None,
+    scale: float = 8.0,
+    highlight_nets: Optional[Sequence[int]] = None,
+) -> str:
+    """Render placement + Steiner trees as an SVG document string."""
+    w, h = netlist.die_width, netlist.die_height
+    parts: List[str] = [
+        _SVG_HEADER.format(vb=f"0 0 {w:.1f} {h:.1f}", w=int(w * scale), h=int(h * scale))
+    ]
+    # Flip y so the origin sits bottom-left like die coordinates.
+    parts.append(f'<g transform="translate(0,{h:.1f}) scale(1,-1)">')
+    parts.append(
+        f'<rect x="0" y="0" width="{w:.1f}" height="{h:.1f}" '
+        'fill="none" stroke="#333" stroke-width="0.3"/>'
+    )
+
+    if congestion is not None and congestion.size:
+        nx, ny = congestion.shape
+        gx, gy = w / nx, h / ny
+        peak = max(float(congestion.max()), 1e-9)
+        for i in range(nx):
+            for j in range(ny):
+                u = float(congestion[i, j]) / peak
+                if u < 0.05:
+                    continue
+                parts.append(
+                    f'<rect x="{i * gx:.1f}" y="{j * gy:.1f}" width="{gx:.1f}" '
+                    f'height="{gy:.1f}" fill="#d32" opacity="{0.35 * u:.2f}"/>'
+                )
+
+    for cell in netlist.cells:
+        cw = cell.cell_type.area * netlist.technology.site_width
+        ch = netlist.technology.row_height
+        color = "#68a" if not cell.is_sequential else "#a86"
+        parts.append(
+            f'<rect x="{cell.x:.2f}" y="{cell.y:.2f}" width="{cw:.2f}" '
+            f'height="{ch:.2f}" fill="{color}" opacity="0.55" stroke="none"/>'
+        )
+
+    if forest is not None:
+        wanted = set(highlight_nets) if highlight_nets is not None else None
+        for tree in forest.trees:
+            if wanted is not None and tree.net_index not in wanted:
+                continue
+            stroke = "#c22" if wanted is not None else "#282"
+            width = 0.25 if wanted is not None else 0.12
+            xy = tree.node_xy()
+            for u, v in tree.edges:
+                # Draw the L-route through the implied corner.
+                x1, y1 = xy[u]
+                x2, y2 = xy[v]
+                parts.append(
+                    f'<polyline points="{x1:.2f},{y1:.2f} {x2:.2f},{y1:.2f} '
+                    f'{x2:.2f},{y2:.2f}" fill="none" stroke="{stroke}" '
+                    f'stroke-width="{width}"/>'
+                )
+            for k in range(tree.n_steiner):
+                sx, sy = tree.steiner_xy[k]
+                parts.append(
+                    f'<circle cx="{sx:.2f}" cy="{sy:.2f}" r="0.3" fill="#22c"/>'
+                )
+
+    parts.append("</g></svg>")
+    return "\n".join(parts)
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def congestion_ascii(utilization: np.ndarray, width: int = 60) -> str:
+    """Terminal heat map of a GCell utilization field."""
+    util = np.asarray(utilization, dtype=np.float64)
+    if util.size == 0:
+        return "(empty grid)"
+    nx, ny = util.shape
+    step = max(1, nx // width)
+    peak = max(float(util.max()), 1e-9)
+    lines = []
+    for j in range(ny - 1, -1, -step):
+        row = []
+        for i in range(0, nx, step):
+            u = float(util[i, j]) / peak
+            row.append(_ASCII_RAMP[min(int(u * (len(_ASCII_RAMP) - 1)), len(_ASCII_RAMP) - 1)])
+        lines.append("".join(row))
+    lines.append(f"(peak utilization {util.max():.2f})")
+    return "\n".join(lines)
+
+
+def slack_histogram_ascii(slacks: Dict[int, float], bins: int = 12, width: int = 40) -> str:
+    """Terminal histogram of endpoint slacks; violations marked."""
+    values = np.array(list(slacks.values()), dtype=np.float64)
+    if values.size == 0:
+        return "(no endpoints)"
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1e-12
+    counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+    peak = max(int(counts.max()), 1)
+    lines = [f"endpoint slack histogram ({values.size} endpoints)"]
+    for c, e0, e1 in zip(counts, edges[:-1], edges[1:]):
+        marker = "!" if e1 <= 0 else " "
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{marker}[{e0:8.3f},{e1:8.3f}) {bar} {c}")
+    lines.append("(! = violating bins)")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Tests for GNN functional primitives: segment ops, LSE, losses."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+
+
+class TestGather:
+    def test_values(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.gather(x, [2, 0])
+        assert np.allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_backward_scatter_adds(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        F.gather(x, [1, 1, 2]).sum().backward()
+        assert np.allclose(x.grad, [[0, 0], [2, 2], [1, 1]])
+
+
+class TestSegmentSum:
+    def test_values(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = F.segment_sum(x, [0, 0, 2], 3)
+        assert np.allclose(out.data, [[3.0], [0.0], [3.0]])
+
+    def test_empty_segment_is_zero(self):
+        x = Tensor(np.ones((2, 4)))
+        out = F.segment_sum(x, [0, 0], 3)
+        assert np.allclose(out.data[1], 0.0)
+        assert np.allclose(out.data[2], 0.0)
+
+    def test_backward_is_gather(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = F.segment_sum(x, [1, 1, 0], 2)
+        (out * Tensor([[1.0, 1.0], [5.0, 5.0]])).sum().backward()
+        assert np.allclose(x.grad, [[5, 5], [5, 5], [1, 1]])
+
+    def test_1d_rows(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        out = F.segment_sum(x, [0, 1, 1], 2)
+        assert np.allclose(out.data, [1.0, 5.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0, 1.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.segment_sum(Tensor(np.ones((3, 1))), [0, 1], 2)
+
+
+class TestSegmentMean:
+    def test_values(self):
+        x = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = F.segment_mean(x, [0, 0, 1], 2)
+        assert np.allclose(out.data, [[3.0], [10.0]])
+
+    def test_empty_segment_zero(self):
+        x = Tensor(np.ones((1, 1)))
+        out = F.segment_mean(x, [0], 2)
+        assert np.allclose(out.data[1], 0.0)
+
+
+class TestSegmentMax:
+    def test_values_and_fill(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]))
+        out = F.segment_max(x, [0, 0, 2], 4, fill=-1.0)
+        assert np.allclose(out.data, [5.0, -1.0, 3.0, -1.0])
+
+    def test_backward_routes_to_argmax(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        F.segment_max(x, [0, 0, 0], 1).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_backward_tie_split(self):
+        x = Tensor(np.array([5.0, 5.0]), requires_grad=True)
+        F.segment_max(x, [0, 0], 1).sum().backward()
+        assert np.allclose(x.grad.sum(), 1.0)
+
+    def test_2d(self):
+        x = Tensor(np.array([[1.0, 9.0], [5.0, 2.0]]), requires_grad=True)
+        out = F.segment_max(x, [0, 0], 1)
+        assert np.allclose(out.data, [[5.0, 9.0]])
+        out.sum().backward()
+        assert np.allclose(x.grad, [[0, 1], [1, 0]])
+
+
+class TestLogSumExp:
+    def test_upper_bounds_max(self):
+        x = Tensor(np.array([-3.0, -1.0, -2.0]))
+        for gamma in (0.1, 1.0, 10.0):
+            lse = F.logsumexp(x, gamma=gamma).item()
+            assert lse >= -1.0 - 1e-12
+
+    def test_converges_to_max_as_gamma_shrinks(self):
+        x = Tensor(np.array([1.0, 4.0, 2.0]))
+        assert abs(F.logsumexp(x, gamma=0.01).item() - 4.0) < 0.05
+
+    def test_gradient_is_softmax(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        F.logsumexp(x, gamma=1.0).backward()
+        expected = np.exp(x.data) / np.exp(x.data).sum()
+        assert np.allclose(x.grad, expected)
+
+    def test_large_values_stable(self):
+        x = Tensor(np.array([1000.0, 999.0]))
+        out = F.logsumexp(x, gamma=1.0).item()
+        assert np.isfinite(out)
+        assert out >= 1000.0
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            F.logsumexp(Tensor([1.0]), gamma=0.0)
+
+    def test_axis(self):
+        x = Tensor(np.array([[1.0, 5.0], [2.0, 2.0]]))
+        out = F.logsumexp(x, gamma=0.01, axis=1)
+        assert out.shape == (2,)
+        assert abs(out.data[0] - 5.0) < 0.1
+
+
+class TestSoftplus:
+    def test_positive_everywhere(self):
+        x = Tensor(np.linspace(-10, 10, 21))
+        assert np.all(F.softplus(x).data > 0)
+
+    def test_approximates_relu_for_large(self):
+        x = Tensor(np.array([20.0]))
+        assert abs(F.softplus(x).item() - 20.0) < 1e-6
+
+    def test_beta_sharpens(self):
+        x = Tensor(np.array([0.5]))
+        soft = F.softplus(x, beta=1.0).item()
+        sharp = F.softplus(x, beta=10.0).item()
+        assert abs(sharp - 0.5) < abs(soft - 0.5)
+
+    def test_gradient_is_sigmoid(self):
+        x = Tensor(np.array([0.3]), requires_grad=True)
+        F.softplus(x).backward()
+        assert np.allclose(x.grad, 1.0 / (1.0 + np.exp(-0.3)), atol=1e-9)
+
+    def test_stable_for_large_negative(self):
+        out = F.softplus(Tensor(np.array([-500.0]))).item()
+        assert 0.0 <= out < 1e-10 or out == 0.0
+
+
+class TestLosses:
+    def test_mse(self):
+        pred = Tensor([1.0, 3.0])
+        assert abs(F.mse_loss(pred, Tensor([1.0, 1.0])).item() - 2.0) < 1e-12
+
+    def test_mae(self):
+        pred = Tensor([1.0, 4.0])
+        assert abs(F.mae_loss(pred, Tensor([0.0, 0.0])).item() - 2.5) < 1e-12
+
+    def test_huber_quadratic_inside(self):
+        pred = Tensor([0.5], requires_grad=True)
+        F.huber_loss(pred, Tensor([0.0]), delta=1.0).backward()
+        assert np.allclose(pred.grad, [0.5])
+
+    def test_huber_linear_outside(self):
+        pred = Tensor([5.0], requires_grad=True)
+        F.huber_loss(pred, Tensor([0.0]), delta=1.0).backward()
+        assert np.allclose(pred.grad, [1.0])
+
+    def test_mse_accepts_numpy_target(self):
+        pred = Tensor([2.0])
+        assert abs(F.mse_loss(pred, np.array([0.0])).item() - 4.0) < 1e-12
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert np.allclose(out.data, 1.0)
+
+    def test_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(20000))
+        out = F.dropout(x, 0.4, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_zero_rate_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(5))
+        assert np.allclose(F.dropout(x, 0.0, rng).data, 1.0)
+
+
+class TestSoftminWeights:
+    def test_sums_to_one_and_favours_min(self):
+        w = F.softmin_weights(np.array([1.0, 5.0, 0.5]), gamma=0.5)
+        assert abs(w.sum() - 1.0) < 1e-12
+        assert np.argmax(w) == 2

@@ -1,0 +1,213 @@
+"""Tests for nn modules and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import functional as F
+from repro.autodiff import nn, optim
+from repro.autodiff.tensor import Tensor
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(4, 7, rng())
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = nn.Linear(2, 2, rng(), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_reach_params(self):
+        layer = nn.Linear(3, 2, rng())
+        layer(Tensor(np.ones((5, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = nn.LayerNorm(8)
+        x = Tensor(np.linspace(0, 100, 16).reshape(2, 8))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_trainable_scale(self):
+        ln = nn.LayerNorm(4)
+        ln(Tensor(np.random.default_rng(0).normal(size=(3, 4)))).sum().backward()
+        assert ln.gamma.grad is not None
+        assert ln.beta.grad is not None
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = nn.MLP([3, 8, 8, 1], rng())
+        assert mlp(Tensor(np.ones((5, 3)))).shape == (5, 1)
+
+    def test_rejects_single_dim(self):
+        with pytest.raises(ValueError):
+            nn.MLP([3], rng())
+
+    def test_layer_norm_option(self):
+        mlp = nn.MLP([3, 8, 1], rng(), layer_norm=True)
+        assert mlp(Tensor(np.ones((2, 3)))).shape == (2, 1)
+
+    def test_activations_registry(self):
+        for name in nn.ACTIVATIONS:
+            mlp = nn.MLP([2, 4, 1], rng(), activation=name)
+            out = mlp(Tensor(np.ones((1, 2))))
+            assert np.isfinite(out.data).all()
+
+
+class TestModule:
+    def test_named_parameters_deterministic(self):
+        m1 = nn.MLP([2, 4, 1], rng())
+        names1 = [n for n, _ in m1.named_parameters()]
+        m2 = nn.MLP([2, 4, 1], rng())
+        names2 = [n for n, _ in m2.named_parameters()]
+        assert names1 == names2
+        assert len(names1) == len(set(names1))
+
+    def test_state_dict_roundtrip(self):
+        m = nn.MLP([2, 4, 1], rng())
+        state = m.state_dict()
+        m2 = nn.MLP([2, 4, 1], np.random.default_rng(99))
+        m2.load_state_dict(state)
+        x = Tensor(np.ones((1, 2)))
+        assert np.allclose(m(x).data, m2(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        m = nn.MLP([2, 4, 1], rng())
+        with pytest.raises(KeyError):
+            m.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_num_parameters(self):
+        m = nn.Linear(3, 2, rng())
+        assert m.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad(self):
+        m = nn.Linear(2, 1, rng())
+        m(Tensor(np.ones((1, 2)))).sum().backward()
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_sequential(self):
+        seq = nn.Sequential(nn.Linear(2, 4, rng()), nn.Linear(4, 1, rng()))
+        assert seq(Tensor(np.ones((3, 2)))).shape == (3, 1)
+
+
+def quadratic_problem():
+    """min ||Wx - y||² over W."""
+    target = np.array([[2.0], [-1.0]])
+    x = Tensor(np.eye(2))
+    w = Tensor(np.zeros((2, 1)), requires_grad=True)
+
+    def loss():
+        return F.mse_loss(x @ w, Tensor(target))
+
+    return w, loss
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        w, loss = quadratic_problem()
+        opt = optim.SGD([w], lr=0.5)
+        for _ in range(100):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        assert loss().item() < 1e-6
+
+    def test_sgd_momentum(self):
+        w, loss = quadratic_problem()
+        opt = optim.SGD([w], lr=0.1, momentum=0.9)
+        for _ in range(100):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        assert loss().item() < 1e-4
+
+    def test_adam_converges(self):
+        w, loss = quadratic_problem()
+        opt = optim.Adam([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        assert loss().item() < 1e-5
+
+    def test_adam_weight_decay_shrinks(self):
+        w = Tensor(np.ones((2, 1)) * 10.0, requires_grad=True)
+        opt = optim.Adam([w], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()  # zero data gradient
+            opt.step()
+        assert np.abs(w.data).max() < 10.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_step_skips_none_grad(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        optim.Adam([w]).step()  # no backward happened: no-op
+        assert np.allclose(w.data, 1.0)
+
+
+class TestPaperSO:
+    def test_signlike_step_for_large_gradient(self):
+        so = optim.PaperSO(theta=1.0, beta1=0.9, beta2=0.999, eps=1e-8)
+        coords = np.zeros((3, 2))
+        grad = np.array([[1.0, -1.0], [10.0, -10.0], [0.0, 0.0]])
+        out = so.update(coords, grad)
+        expected_mag = 1.0 * 0.1 / np.sqrt(1.0 - 0.999)
+        assert np.allclose(np.abs(out[0]), expected_mag, rtol=1e-3)
+        assert np.allclose(np.abs(out[1]), expected_mag, rtol=1e-3)
+        assert np.allclose(out[2], 0.0)
+
+    def test_descends_against_gradient_sign(self):
+        so = optim.PaperSO(theta=0.5)
+        out = so.update(np.zeros(2), np.array([1.0, -1.0]))
+        assert out[0] < 0 < out[1]
+
+    def test_does_not_mutate_input(self):
+        so = optim.PaperSO(theta=1.0)
+        coords = np.ones(2)
+        so.update(coords, np.ones(2))
+        assert np.allclose(coords, 1.0)
+
+    def test_large_eps_damps_small_gradients(self):
+        so = optim.PaperSO(theta=1.0, eps=1e-2)
+        big = so.update(np.zeros(1), np.array([1.0]))
+        small = so.update(np.zeros(1), np.array([1e-4]))
+        assert abs(small[0]) < abs(big[0]) / 10
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            optim.PaperSO(theta=0.0)
+
+
+class TestAccumulatingSO:
+    def test_momentum_carries_over(self):
+        so = optim.AccumulatingSO(theta=1.0)
+        c = np.zeros(1)
+        c1 = so.update(c, np.array([1.0]))
+        # Second step with zero gradient still moves (momentum).
+        c2 = so.update(c1, np.array([0.0]))
+        assert c2[0] != c1[0]
+
+    def test_first_step_matches_adam_scale(self):
+        so = optim.AccumulatingSO(theta=0.1)
+        out = so.update(np.zeros(1), np.array([5.0]))
+        assert abs(abs(out[0]) - 0.1) < 1e-3
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            optim.AccumulatingSO(theta=-1.0)

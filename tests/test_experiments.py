@@ -1,0 +1,100 @@
+"""Tests for the experiment harness (cheap paths only).
+
+The heavier end-to-end regenerations live in ``benchmarks/``; here we
+cover the context caching, configuration profiles, formatting helpers
+and the Table I path, which needs no model training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentContext,
+    format_table,
+    get_context,
+)
+
+
+@pytest.fixture()
+def tiny_config():
+    return ExperimentConfig(
+        designs=("spm", "cic_decimator"),
+        train_designs=("spm",),
+        train_epochs=3,
+        patience=5,
+        augment=0,
+        refinement_iterations=2,
+        random_trials=2,
+    )
+
+
+class TestConfig:
+    def test_profiles(self):
+        quick = ExperimentConfig.quick()
+        paper = ExperimentConfig.paper()
+        assert len(paper.designs) == 10
+        assert len(quick.designs) < len(paper.designs)
+        assert set(paper.train_designs) < set(paper.designs)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "paper")
+        assert len(ExperimentConfig.from_env().designs) == 10
+        monkeypatch.setenv("REPRO_PROFILE", "quick")
+        assert len(ExperimentConfig.from_env().designs) == 4
+
+    def test_hashable_and_cached(self, tiny_config):
+        ctx1 = get_context(tiny_config)
+        ctx2 = get_context(tiny_config)
+        assert ctx1 is ctx2
+
+    def test_refinement_config(self, tiny_config):
+        rcfg = tiny_config.refinement_config()
+        assert rcfg.max_iterations == 2
+
+
+class TestContext:
+    def test_design_cached(self, tiny_config):
+        ctx = ExperimentContext(tiny_config)
+        n1, f1 = ctx.design("spm")
+        n2, f2 = ctx.design("spm")
+        assert n1 is n2
+        assert f1 is f2
+
+    def test_baseline_cached(self, tiny_config):
+        ctx = ExperimentContext(tiny_config)
+        assert ctx.baseline("spm") is ctx.baseline("spm")
+
+    def test_pristine_excludes_augmented(self):
+        cfg = ExperimentConfig(
+            designs=("spm",),
+            train_designs=("spm",),
+            train_epochs=1,
+            patience=2,
+            augment=1,
+        )
+        ctx = ExperimentContext(cfg)
+        names = [s.name for s in ctx.pristine_samples()]
+        assert names == ["spm"]
+
+
+class TestTable1:
+    def test_runs_without_model(self, tiny_config):
+        result = table1.run(tiny_config)
+        assert [r.name for r in result.rows] == list(tiny_config.designs)
+        text = table1.format_result(result)
+        assert "Total Train" in text
+        assert "spm" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [10, 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.346" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text

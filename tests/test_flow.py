@@ -1,0 +1,123 @@
+"""Tests for the flow pipeline and random-disturbance baseline."""
+
+import numpy as np
+import pytest
+
+from repro.flow.baseline import random_disturbance, random_move_trials
+from repro.flow.pipeline import make_training_samples, prepare_design, run_routing_flow
+
+
+@pytest.fixture(scope="module")
+def spm():
+    return prepare_design("spm")
+
+
+@pytest.fixture(scope="module")
+def spm_baseline(spm):
+    netlist, forest = spm
+    return run_routing_flow(netlist, forest)
+
+
+class TestPrepareDesign:
+    def test_deterministic(self):
+        nl1, f1 = prepare_design("spm")
+        nl2, f2 = prepare_design("spm")
+        assert np.allclose(f1.get_steiner_coords(), f2.get_steiner_coords())
+        assert np.allclose(
+            [(c.x, c.y) for c in nl1.cells], [(c.x, c.y) for c in nl2.cells]
+        )
+
+    def test_without_edge_shifting(self):
+        nl, forest = prepare_design("spm", edge_shift_passes=0)
+        forest.validate()
+
+
+class TestRunRoutingFlow:
+    def test_metrics_present(self, spm_baseline):
+        r = spm_baseline
+        assert np.isfinite(r.wns)
+        assert np.isfinite(r.tns)
+        assert r.wirelength > 0
+        assert r.num_vias > 0
+        assert set(r.runtimes) == {"groute", "droute", "sta"}
+        assert r.total_runtime > 0
+
+    def test_design_violates_as_configured(self, spm_baseline):
+        # Benchmarks are clocked to violate, like the paper's designs.
+        assert spm_baseline.wns < 0
+        assert spm_baseline.tns < 0
+        assert spm_baseline.num_violations > 0
+
+    def test_does_not_mutate_input_forest(self, spm):
+        netlist, forest = spm
+        before = forest.get_steiner_coords()
+        run_routing_flow(netlist, forest)
+        assert np.allclose(forest.get_steiner_coords(), before)
+
+    def test_repeatable(self, spm, spm_baseline):
+        netlist, forest = spm
+        again = run_routing_flow(netlist, forest)
+        assert again.wns == spm_baseline.wns
+        assert again.tns == spm_baseline.tns
+        assert again.wirelength == spm_baseline.wirelength
+
+
+class TestRandomDisturbance:
+    def test_moves_bounded(self, spm):
+        _, forest = spm
+        rng = np.random.default_rng(0)
+        disturbed = random_disturbance(forest, rng, max_distance=2.0)
+        delta = np.abs(
+            disturbed.get_steiner_coords() - forest.get_steiner_coords()
+        )
+        assert delta.max() <= 2.0 + 1e-9
+
+    def test_original_untouched(self, spm):
+        _, forest = spm
+        before = forest.get_steiner_coords()
+        random_disturbance(forest, np.random.default_rng(1))
+        assert np.allclose(forest.get_steiner_coords(), before)
+
+    def test_clamped_to_die(self, spm):
+        netlist, forest = spm
+        rng = np.random.default_rng(2)
+        disturbed = random_disturbance(forest, rng, max_distance=1e6)
+        coords = disturbed.get_steiner_coords()
+        assert coords[:, 0].min() >= 0.0
+        assert coords[:, 0].max() <= netlist.die_width
+
+    def test_trials_produce_ratios(self, spm, spm_baseline):
+        netlist, forest = spm
+        stats = random_move_trials(netlist, forest, spm_baseline, trials=3, seed=1)
+        assert len(stats.tns_ratios) == 3
+        assert stats.mean_tns_ratio > 0
+        assert stats.tns_spread >= 0
+
+
+class TestTrainingSamples:
+    def test_split_flags(self):
+        samples = make_training_samples(
+            ["spm", "usb_cdc_core"], train_names=["spm"], augment=0
+        )
+        flags = {s.name: s.is_train for s in samples}
+        assert flags["spm"] is True
+        assert flags["usb_cdc_core"] is False
+
+    def test_augmented_only_for_train(self):
+        samples = make_training_samples(
+            ["spm", "usb_cdc_core"], train_names=["spm"], augment=1
+        )
+        names = [s.name for s in samples]
+        assert "spm@aug0" in names
+        assert not any(n.startswith("usb_cdc_core@aug") for n in names)
+
+    def test_labels_are_signoff(self):
+        samples = make_training_samples(["spm"], train_names=["spm"], augment=0)
+        sample = samples[0]
+        assert sample.report is not None
+        assert sample.label_mask.sum() > 0
+        assert np.isfinite(sample.arrival_label[sample.label_mask]).all()
+
+    def test_congestion_attached(self):
+        samples = make_training_samples(["spm"], train_names=["spm"], augment=0)
+        assert samples[0].graph.congestion is not None

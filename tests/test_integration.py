@@ -1,0 +1,96 @@
+"""End-to-end integration tests: the full pipeline on tiny designs.
+
+These exercise the complete TSteiner story in miniature: oracle labels
+-> evaluator training -> gradient refinement with hybrid validation ->
+re-routing -> sign-off comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RefinementConfig
+from repro.flow.pipeline import make_training_samples, prepare_design, run_routing_flow
+from repro.timing_model import EvaluatorConfig, TimingEvaluator, TrainerConfig, train_evaluator
+from repro.timing_model.train import evaluate_r2
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    samples = make_training_samples(
+        ["spm", "cic_decimator"], train_names=["spm", "cic_decimator"], augment=1
+    )
+    model = TimingEvaluator(EvaluatorConfig(hidden=12))
+    train_evaluator(
+        model, samples, TrainerConfig(epochs=400, learning_rate=5e-3, patience=150)
+    )
+    return model, samples
+
+
+class TestEndToEnd:
+    def test_training_reaches_useful_r2(self, trained_model):
+        model, samples = trained_model
+        scores = evaluate_r2(model, [s for s in samples if "@aug" not in s.name])
+        for design_scores in scores.values():
+            assert design_scores["arrival_all"] > 0.3
+
+    def test_full_optimization_never_hurts(self, trained_model):
+        model, _ = trained_model
+        netlist, forest = prepare_design("spm")
+        baseline = run_routing_flow(netlist, forest)
+        optimized = run_routing_flow(
+            netlist,
+            forest,
+            model=model,
+            refinement_config=RefinementConfig(
+                max_iterations=10, validate_every=2, polish_probes=10
+            ),
+        )
+        # Hybrid validation guarantees the weighted objective does not
+        # regress (wns dominates the weighting).
+        w_w, w_t = 200.0, 2.0
+        base_score = w_w * baseline.wns + w_t * baseline.tns
+        opt_score = w_w * optimized.wns + w_t * optimized.tns
+        assert opt_score >= base_score - 1e-6
+        assert optimized.refinement is not None
+        assert optimized.refinement.validations >= 1
+
+    def test_tsteiner_runtime_recorded(self, trained_model):
+        model, _ = trained_model
+        netlist, forest = prepare_design("spm")
+        result = run_routing_flow(
+            netlist,
+            forest,
+            model=model,
+            refinement_config=RefinementConfig(max_iterations=3, polish_probes=2),
+        )
+        assert "tsteiner" in result.runtimes
+        assert result.runtimes["tsteiner"] > 0
+
+    def test_held_out_design_prediction_sane(self, trained_model):
+        model, _ = trained_model
+        from repro.timing_model.dataset import make_sample
+        from repro.routegrid import GCellGrid
+        from repro.groute import GlobalRouter, assign_layers
+
+        netlist, forest = prepare_design("usb_cdc_core")
+        grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
+        rr = GlobalRouter(grid).route(forest)
+        assign_layers(rr, netlist.technology, grid.nx * grid.ny)
+        sample = make_sample(
+            netlist, forest, rr, is_train=False, congestion=grid.utilization_map()
+        )
+        pred = model.predict_arrivals(sample.graph, sample.steiner_coords)
+        mask = sample.label_mask
+        # Predictions land in the right order of magnitude.
+        truth = sample.arrival_label[mask]
+        assert np.isfinite(pred[mask]).all()
+        assert pred[mask].mean() > 0.2 * truth.mean()
+        assert pred[mask].mean() < 5.0 * truth.mean()
+
+    def test_different_seeds_different_models_same_api(self):
+        m1 = TimingEvaluator(EvaluatorConfig(hidden=8, seed=1))
+        m2 = TimingEvaluator(EvaluatorConfig(hidden=8, seed=2))
+        s1 = m1.state_dict()
+        s2 = m2.state_dict()
+        assert set(s1) == set(s2)
+        assert any(not np.allclose(s1[k], s2[k]) for k in s1)

@@ -1,0 +1,85 @@
+"""Tests for design IO and the command-line entry point."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.flow.pipeline import prepare_design, run_routing_flow
+from repro.netlist.io import load_design, save_design
+
+
+@pytest.fixture(scope="module")
+def spm():
+    return prepare_design("spm")
+
+
+class TestDesignIO:
+    def test_roundtrip_structure(self, spm, tmp_path):
+        netlist, forest = spm
+        f = tmp_path / "spm.jsonl"
+        save_design(f, netlist, forest)
+        loaded_nl, loaded_forest = load_design(f)
+        assert loaded_nl.num_cells == netlist.num_cells
+        assert loaded_nl.num_nets == netlist.num_nets
+        assert loaded_nl.num_pins == netlist.num_pins
+        assert loaded_forest is not None
+        assert loaded_forest.num_steiner_points == forest.num_steiner_points
+        assert np.allclose(
+            loaded_forest.get_steiner_coords(), forest.get_steiner_coords()
+        )
+
+    def test_roundtrip_preserves_timing(self, spm, tmp_path):
+        netlist, forest = spm
+        f = tmp_path / "spm.jsonl"
+        save_design(f, netlist, forest)
+        loaded_nl, loaded_forest = load_design(f)
+        original = run_routing_flow(netlist, forest)
+        reloaded = run_routing_flow(loaded_nl, loaded_forest)
+        assert abs(original.wns - reloaded.wns) < 1e-9
+        assert abs(original.tns - reloaded.tns) < 1e-9
+        assert original.num_vias == reloaded.num_vias
+
+    def test_netlist_only(self, spm, tmp_path):
+        netlist, _ = spm
+        f = tmp_path / "bare.jsonl"
+        save_design(f, netlist)
+        loaded_nl, loaded_forest = load_design(f)
+        assert loaded_forest is None
+        assert loaded_nl.num_nets == netlist.num_nets
+
+    def test_placement_preserved(self, spm, tmp_path):
+        netlist, forest = spm
+        f = tmp_path / "spm.jsonl"
+        save_design(f, netlist, forest)
+        loaded_nl, _ = load_design(f)
+        for a, b in zip(netlist.cells, loaded_nl.cells):
+            assert (a.x, a.y) == (b.x, b.y)
+            assert a.cell_type.name == b.cell_type.name
+
+    def test_bad_header_rejected(self, tmp_path):
+        f = tmp_path / "bad.jsonl"
+        f.write_text('{"kind": "cell", "name": "x"}\n')
+        with pytest.raises(ValueError):
+            load_design(f)
+
+    def test_bad_version_rejected(self, tmp_path):
+        f = tmp_path / "bad.jsonl"
+        f.write_text('{"kind": "header", "version": 99}\n')
+        with pytest.raises(ValueError):
+            load_design(f)
+
+
+class TestCli:
+    def test_table1_quick(self, capsys):
+        assert cli_main(["table1", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "Total Train" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["bogus"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table1", "--profile", "huge"])

@@ -1,0 +1,208 @@
+"""Tests for the netlist data model, generator and named benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.benchmarks import (
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    build_benchmark,
+)
+from repro.netlist.generator import GeneratorConfig, generate_netlist
+from repro.netlist.netlist import Netlist, PinDirection
+from repro.netlist.stats import aggregate_stats, collect_stats
+from repro.pdk.clocks import ClockSpec
+from repro.pdk.liberty import default_library
+from repro.pdk.technology import default_technology
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        name="tiny", n_registers=4, n_comb=20, n_pi=2, n_po=2, depth=4, seed=1,
+        clock_period=1.0,
+    )
+    defaults.update(overrides)
+    return GeneratorConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return generate_netlist(tiny_config())
+
+
+class TestNetlistModel:
+    def test_manual_construction(self):
+        lib = default_library()
+        nl = Netlist("manual", lib, default_technology(), ClockSpec(1.0))
+        nl.die_width = nl.die_height = 50.0
+        inv = nl.add_cell("inv0", lib["INV_X1"])
+        pi = nl.add_port("in0", PinDirection.OUTPUT, 0.0, 10.0)
+        po = nl.add_port("out0", PinDirection.INPUT, 50.0, 10.0)
+        nl.add_net("n1", pi.index, [inv.pin_indices["A"]])
+        nl.add_net("n2", inv.pin_indices["Y"], [po.index])
+        nl.validate()
+        assert nl.num_cells == 1
+        assert nl.num_nets == 2
+        assert len(nl.startpoints()) == 1
+        assert len(nl.endpoints()) == 1
+
+    def test_net_direction_validation(self):
+        lib = default_library()
+        nl = Netlist("bad", lib, default_technology(), ClockSpec(1.0))
+        inv = nl.add_cell("inv0", lib["INV_X1"])
+        with pytest.raises(ValueError):
+            nl.add_net("n", inv.pin_indices["A"], [inv.pin_indices["Y"]])
+
+    def test_pin_positions_follow_cells(self, tiny):
+        pos = tiny.pin_positions()
+        cell = tiny.cells[0]
+        pin = tiny.pins[cell.pin_indices[cell.cell_type.input_pins[0]]]
+        assert pos[pin.index][0] == cell.x + pin.offset[0]
+        assert pos[pin.index][1] == cell.y + pin.offset[1]
+
+    def test_pin_net_map(self, tiny):
+        mapping = tiny.pin_net_map()
+        for net in tiny.nets:
+            for p in net.pins:
+                assert mapping[p] == net.index
+
+    def test_topological_order_respects_arcs(self, tiny):
+        order = tiny.topological_pin_order()
+        rank = {p: i for i, p in enumerate(order)}
+        for a, b in tiny.cell_edges():
+            assert rank[a] < rank[b]
+        for a, b, _ in tiny.net_edges():
+            assert rank[a] < rank[b]
+
+    def test_cell_edges_skip_register_d(self, tiny):
+        edges = set(tiny.cell_edges())
+        for reg in tiny.registers():
+            d_pin = reg.pin_indices["D"]
+            assert not any(a == d_pin for a, _ in edges)
+
+    def test_endpoints_are_register_d_and_pos(self, tiny):
+        eps = set(tiny.endpoints())
+        for reg in tiny.registers():
+            assert reg.pin_indices["D"] in eps
+        for po in tiny.primary_outputs():
+            assert po.index in eps
+
+    def test_validate_passes(self, tiny):
+        tiny.validate()
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_netlist(tiny_config())
+        b = generate_netlist(tiny_config())
+        assert a.num_pins == b.num_pins
+        assert [n.driver for n in a.nets] == [n.driver for n in b.nets]
+        assert [n.sinks for n in a.nets] == [n.sinks for n in b.nets]
+
+    def test_seed_changes_structure(self):
+        a = generate_netlist(tiny_config(seed=1))
+        b = generate_netlist(tiny_config(seed=2))
+        assert [n.sinks for n in a.nets] != [n.sinks for n in b.nets]
+
+    def test_no_combinational_loops(self, tiny):
+        tiny.topological_pin_order()  # raises on a loop
+
+    def test_all_cell_inputs_driven(self, tiny):
+        driven = {s for net in tiny.nets for s in net.sinks}
+        for cell in tiny.cells:
+            for name in cell.cell_type.input_pins:
+                if cell.is_sequential and name == cell.cell_type.clock_pin:
+                    continue  # ideal clock network
+                assert cell.pin_indices[name] in driven
+
+    def test_every_net_has_sinks(self, tiny):
+        assert all(net.sinks for net in tiny.nets)
+
+    def test_counts_match_config(self):
+        cfg = tiny_config(n_registers=7, n_comb=30)
+        nl = generate_netlist(cfg)
+        assert len(nl.registers()) == 7
+        assert nl.num_cells == 7 + 30
+
+    def test_die_is_gcell_aligned(self, tiny):
+        g = tiny.technology.gcell_size
+        assert abs(tiny.die_width % g) < 1e-9
+        assert abs(tiny.die_height % g) < 1e-9
+
+    def test_depth_actually_reached(self):
+        nl = generate_netlist(tiny_config(n_comb=60, depth=8))
+        # Longest combinational pin chain should be >= depth cells.
+        order = nl.topological_pin_order()
+        level = {p: 0 for p in order}
+        arcs = list(nl.cell_edges()) + [(a, b) for a, b, _ in nl.net_edges()]
+        succ = {}
+        for a, b in arcs:
+            succ.setdefault(a, []).append(b)
+        for p in order:
+            for q in succ.get(p, []):
+                level[q] = max(level[q], level[p] + 1)
+        assert max(level.values()) >= 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(name="x", n_registers=0, n_comb=10)
+        with pytest.raises(ValueError):
+            GeneratorConfig(name="x", n_registers=1, n_comb=10, utilization=1.5)
+
+
+class TestBenchmarks:
+    def test_split_matches_paper(self):
+        assert set(TRAIN_BENCHMARKS) == {
+            "chacha", "cic_decimator", "APU", "des", "jpeg_encoder", "spm"
+        }
+        assert set(TEST_BENCHMARKS) == {
+            "aes_cipher", "picorv32a", "usb_cdc_core", "des3"
+        }
+
+    def test_all_ten_exist(self):
+        assert len(BENCHMARKS) == 10
+
+    def test_small_designs_build_and_validate(self):
+        for name in ["spm", "cic_decimator", "usb_cdc_core"]:
+            nl = build_benchmark(name)
+            nl.validate()
+            assert nl.name == name
+
+    def test_relative_scale_ordering(self):
+        spm = build_benchmark("spm")
+        apu = build_benchmark("APU")
+        assert apu.num_cells > spm.num_cells
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_benchmark("nonexistent")
+
+    def test_scale_parameter(self):
+        small = build_benchmark("APU", scale=0.5)
+        full = build_benchmark("APU", scale=1.0)
+        assert small.num_cells < full.num_cells
+
+
+class TestStats:
+    def test_collect_without_forest(self, tiny):
+        stats = collect_stats(tiny)
+        assert stats.cell_nodes == tiny.num_pins
+        assert stats.steiner_nodes == 0
+        assert stats.endpoints == len(tiny.endpoints())
+
+    def test_collect_with_forest(self, tiny):
+        from repro.placement import place
+        from repro.steiner import build_forest
+
+        place(tiny)
+        forest = build_forest(tiny)
+        stats = collect_stats(tiny, forest)
+        assert stats.steiner_nodes == forest.num_steiner_points
+        assert stats.net_edges == len(tiny.net_edges()) + forest.num_edges
+
+    def test_aggregate(self, tiny):
+        s = collect_stats(tiny)
+        total = aggregate_stats([s, s], "Total")
+        assert total.cell_nodes == 2 * s.cell_nodes
+        assert total.name == "Total"

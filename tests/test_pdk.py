@@ -1,0 +1,206 @@
+"""Tests for the technology/PDK substrate: layers, vias, NLDM, clocks."""
+
+import numpy as np
+import pytest
+
+from repro.pdk.clocks import ClockSpec
+from repro.pdk.liberty import (
+    CellLibrary,
+    CellType,
+    LookupTable,
+    TimingArc,
+    TimingSense,
+    default_library,
+)
+from repro.pdk.technology import RoutingLayer, Technology, ViaDef, default_technology
+
+
+class TestRoutingLayer:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            RoutingLayer("mX", 0, "D", 1e-3, 1e-4, 0.4, 0.1)
+
+    def test_rc_validation(self):
+        with pytest.raises(ValueError):
+            RoutingLayer("mX", 0, "H", -1.0, 1e-4, 0.4, 0.1)
+
+
+class TestTechnology:
+    def test_default_builds(self):
+        tech = default_technology()
+        assert tech.num_layers == 6
+        assert len(tech.horizontal_layers()) == 3
+        assert len(tech.vertical_layers()) == 3
+
+    def test_layer_indices_contiguous(self):
+        tech = default_technology()
+        with pytest.raises(ValueError):
+            Technology("bad", [tech.layers[0], tech.layers[2]], tech.vias[:1])
+
+    def test_missing_via_rejected(self):
+        tech = default_technology()
+        with pytest.raises(ValueError):
+            Technology("bad", tech.layers, tech.vias[:-1])
+
+    def test_via_between_symmetric(self):
+        tech = default_technology()
+        assert tech.via_between(0, 1) is tech.via_between(1, 0)
+
+    def test_via_between_missing(self):
+        tech = default_technology()
+        with pytest.raises(KeyError):
+            tech.via_between(0, 3)
+
+    def test_via_stack_resistance_accumulates(self):
+        tech = default_technology()
+        r02 = tech.via_stack_resistance(0, 2)
+        r01 = tech.via_stack_resistance(0, 1)
+        r12 = tech.via_stack_resistance(1, 2)
+        assert abs(r02 - (r01 + r12)) < 1e-15
+
+    def test_wire_rc_scales_with_length(self):
+        tech = default_technology()
+        r1, c1 = tech.wire_rc(0, 10.0)
+        r2, c2 = tech.wire_rc(0, 20.0)
+        assert abs(r2 - 2 * r1) < 1e-12
+        assert abs(c2 - 2 * c1) < 1e-12
+
+    def test_upper_layers_less_resistive(self):
+        tech = default_technology()
+        assert tech.layers[0].res_per_um > tech.layers[-1].res_per_um
+
+    def test_tracks_per_gcell_positive(self):
+        tech = default_technology()
+        for layer in tech.layers:
+            assert tech.tracks_per_gcell(layer.index) >= 1
+
+
+class TestLookupTable:
+    def make_lut(self):
+        return LookupTable(
+            slew_axis=[0.1, 0.5, 1.0],
+            load_axis=[0.01, 0.1],
+            values=[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]],
+        )
+
+    def test_exact_grid_points(self):
+        lut = self.make_lut()
+        assert lut.lookup(0.1, 0.01) == 1.0
+        assert lut.lookup(1.0, 0.1) == 6.0
+
+    def test_bilinear_midpoint(self):
+        lut = self.make_lut()
+        val = lut.lookup(0.3, 0.055)
+        assert abs(val - 2.5) < 1e-12  # average of the 4 corners
+
+    def test_clamping_beyond_grid(self):
+        lut = self.make_lut()
+        assert lut.lookup(99.0, 99.0) == 6.0
+        assert lut.lookup(-1.0, -1.0) == 1.0
+
+    def test_vectorized_matches_scalar(self):
+        lut = self.make_lut()
+        slews = np.array([0.1, 0.3, 2.0])
+        loads = np.array([0.01, 0.055, 0.5])
+        vec = lut.lookup_many(slews, loads)
+        scalar = [lut.lookup(s, l) for s, l in zip(slews, loads)]
+        assert np.allclose(vec, scalar)
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable([1.0, 0.5], [0.01], [[1.0], [2.0]])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable([0.1, 0.5], [0.01], [[1.0]])
+
+
+class TestDefaultLibrary:
+    def test_builds_and_has_flip_flop(self):
+        lib = default_library()
+        assert "DFF_X1" in lib
+        assert lib["DFF_X1"].is_sequential
+        assert lib["DFF_X1"].clock_pin == "CK"
+
+    def test_combinational_vs_sequential_partition(self):
+        lib = default_library()
+        names = set(lib.cells)
+        comb = {c.name for c in lib.combinational()}
+        seq = {c.name for c in lib.sequential()}
+        assert comb | seq == names
+        assert not comb & seq
+
+    def test_delay_monotone_in_load(self):
+        lib = default_library()
+        inv = lib["INV_X1"]
+        arc = inv.arcs[0]
+        d_small = arc.delay.lookup(0.1, 0.005)
+        d_big = arc.delay.lookup(0.1, 0.3)
+        assert d_big > d_small
+
+    def test_stronger_cells_faster_at_load(self):
+        lib = default_library()
+        weak = lib["INV_X1"].arcs[0].delay.lookup(0.1, 0.2)
+        strong = lib["INV_X4"].arcs[0].delay.lookup(0.1, 0.2)
+        assert strong < weak
+
+    def test_duplicate_cell_rejected(self):
+        lib = default_library()
+        with pytest.raises(ValueError):
+            lib.add(lib["INV_X1"])
+
+    def test_sequential_requires_clock_pin(self):
+        with pytest.raises(ValueError):
+            CellType(
+                name="BAD_FF",
+                input_pins=["D"],
+                output_pins=["Q"],
+                pin_caps={"D": 0.001},
+                arcs=[],
+                drive_res=1.0,
+                is_sequential=True,
+            )
+
+    def test_arc_to_unknown_pin_rejected(self):
+        lut = default_library()["INV_X1"].arcs[0].delay
+        with pytest.raises(ValueError):
+            CellType(
+                name="BAD",
+                input_pins=["A"],
+                output_pins=["Y"],
+                pin_caps={"A": 0.001},
+                arcs=[TimingArc("A", "Z", TimingSense.NEGATIVE, lut, lut)],
+                drive_res=1.0,
+            )
+
+    def test_arcs_to(self):
+        lib = default_library()
+        nand = lib["NAND2_X1"]
+        arcs = nand.arcs_to("Y")
+        assert {a.from_pin for a in arcs} == {"A", "B"}
+
+
+class TestClockSpec:
+    def test_required_at_register(self):
+        clk = ClockSpec(period=2.0, uncertainty=0.1)
+        assert abs(clk.required_at_register(0.05) - 1.85) < 1e-12
+
+    def test_required_at_output(self):
+        clk = ClockSpec(period=2.0, uncertainty=0.1, output_delay=0.2)
+        assert abs(clk.required_at_output() - 1.7) < 1e-12
+
+    def test_launch_time_includes_latency(self):
+        clk = ClockSpec(period=1.0, latency=0.3)
+        assert clk.launch_time() == 0.3
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            ClockSpec(period=0.0)
+
+    def test_invalid_uncertainty(self):
+        with pytest.raises(ValueError):
+            ClockSpec(period=1.0, uncertainty=-0.1)
+
+    def test_scaled(self):
+        clk = ClockSpec(period=1.0).scaled(2.0)
+        assert clk.period == 2.0

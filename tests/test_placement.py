@@ -1,0 +1,81 @@
+"""Tests for the force-directed placer and legalizer."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import GeneratorConfig, generate_netlist
+from repro.placement.placer import PlacementConfig, place, total_hpwl
+
+
+@pytest.fixture(scope="module")
+def placed():
+    nl = generate_netlist(
+        GeneratorConfig(name="p", n_registers=6, n_comb=40, n_pi=3, n_po=3, depth=5, seed=3)
+    )
+    place(nl)
+    return nl
+
+
+class TestLegality:
+    def test_cells_inside_die(self, placed):
+        for cell in placed.cells:
+            assert 0.0 <= cell.x <= placed.die_width
+            assert 0.0 <= cell.y <= placed.die_height
+
+    def test_cells_on_rows(self, placed):
+        row_h = placed.technology.row_height
+        for cell in placed.cells:
+            ratio = cell.y / row_h
+            assert abs(ratio - round(ratio)) < 1e-9
+
+    def test_no_overlaps_within_rows(self, placed):
+        site_w = placed.technology.site_width
+        rows = {}
+        for cell in placed.cells:
+            rows.setdefault(round(cell.y, 6), []).append(cell)
+        for cells in rows.values():
+            cells.sort(key=lambda c: c.x)
+            for a, b in zip(cells, cells[1:]):
+                assert a.x + a.cell_type.area * site_w <= b.x + 1e-9
+
+    def test_deterministic(self):
+        cfg = GeneratorConfig(name="d", n_registers=4, n_comb=25, depth=4, seed=5)
+        nl1 = generate_netlist(cfg)
+        nl2 = generate_netlist(cfg)
+        place(nl1)
+        place(nl2)
+        assert np.allclose(
+            [(c.x, c.y) for c in nl1.cells], [(c.x, c.y) for c in nl2.cells]
+        )
+
+
+class TestQuality:
+    def test_beats_random_placement_hpwl(self):
+        cfg = GeneratorConfig(name="q", n_registers=8, n_comb=60, depth=6, seed=9)
+        nl = generate_netlist(cfg)
+        rng = np.random.default_rng(0)
+        # Random legal-ish placement for comparison.
+        for cell in nl.cells:
+            cell.x = float(rng.uniform(0, nl.die_width))
+            cell.y = float(rng.uniform(0, nl.die_height))
+        random_hpwl = total_hpwl(nl)
+        place(nl)
+        placed_hpwl = total_hpwl(nl)
+        assert placed_hpwl < random_hpwl
+
+    def test_empty_netlist_is_noop(self):
+        from repro.netlist.netlist import Netlist
+        from repro.pdk.clocks import ClockSpec
+        from repro.pdk.liberty import default_library
+        from repro.pdk.technology import default_technology
+
+        nl = Netlist("empty", default_library(), default_technology(), ClockSpec(1.0))
+        nl.die_width = nl.die_height = 10.0
+        place(nl)  # must not raise
+
+    def test_custom_config(self):
+        cfg = GeneratorConfig(name="c", n_registers=4, n_comb=20, depth=4, seed=2)
+        nl = generate_netlist(cfg)
+        place(nl, PlacementConfig(iterations=5, seed=11))
+        for cell in nl.cells:
+            assert 0.0 <= cell.x <= nl.die_width

@@ -1,0 +1,256 @@
+"""Tests for Steiner tree construction, forest container and edge shifting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.generator import GeneratorConfig, generate_netlist
+from repro.placement import place
+from repro.steiner.edge_shifting import shift_edges
+from repro.steiner.forest import SteinerForest, build_forest
+from repro.steiner.rsmt import _prim_mst, construct_tree
+from repro.steiner.tree import SteinerTree
+
+
+def hpwl(points: np.ndarray) -> float:
+    return float(
+        points[:, 0].max() - points[:, 0].min() + points[:, 1].max() - points[:, 1].min()
+    )
+
+
+def mst_length(points: np.ndarray) -> float:
+    edges = _prim_mst(points)
+    return float(sum(np.abs(points[a] - points[b]).sum() for a, b in edges))
+
+
+COORD = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestConstructTree:
+    def test_single_pin(self):
+        tree = construct_tree(0, [5], np.array([[1.0, 1.0]]))
+        assert tree.n_nodes == 1
+        assert tree.edges == []
+        tree.validate()
+
+    def test_two_pin_aligned_no_steiner(self):
+        tree = construct_tree(0, [1, 2], np.array([[0.0, 0.0], [5.0, 0.0]]))
+        assert tree.n_steiner == 0
+        assert tree.wirelength() == 5.0
+        tree.validate()
+
+    def test_two_pin_l_corner(self):
+        tree = construct_tree(0, [1, 2], np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert tree.n_steiner == 1
+        assert tree.wirelength() == 7.0
+        tree.validate()
+
+    def test_three_pin_median_is_optimal(self):
+        pins = np.array([[0.0, 0.0], [10.0, 2.0], [4.0, 8.0]])
+        tree = construct_tree(0, [1, 2, 3], pins)
+        tree.validate()
+        # RSMT optimum for 3 pins is the median-point star.
+        med = np.median(pins, axis=0)
+        optimal = sum(np.abs(p - med).sum() for p in pins)
+        assert tree.wirelength() <= optimal + 1e-9
+
+    def test_three_pin_median_on_pin(self):
+        pins = np.array([[0.0, 0.0], [5.0, 0.0], [5.0, 5.0]])
+        tree = construct_tree(0, [1, 2, 3], pins)
+        tree.validate()
+        assert tree.wirelength() == 10.0
+
+    def test_pin_id_mismatch(self):
+        with pytest.raises(ValueError):
+            construct_tree(0, [1], np.zeros((2, 2)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(COORD, COORD), min_size=2, max_size=9, unique=True))
+    def test_property_valid_tree_and_wl_bounds(self, points):
+        pts = np.array(points, dtype=np.float64)
+        tree = construct_tree(7, list(range(len(pts))), pts)
+        tree.validate()
+        wl = tree.wirelength()
+        # Lower bound: half-perimeter.  Upper bound: rectilinear MST.
+        assert wl >= hpwl(pts) - 1e-6
+        assert wl <= mst_length(pts) + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(COORD, COORD), min_size=2, max_size=8, unique=True))
+    def test_property_driver_paths_reach_all_sinks(self, points):
+        pts = np.array(points, dtype=np.float64)
+        tree = construct_tree(0, list(range(len(pts))), pts)
+        paths = tree.driver_paths()
+        assert len(paths) == tree.n_pins - 1
+        for path in paths:
+            assert path[0] == 0
+            assert 1 <= path[-1] < tree.n_pins
+
+
+class TestSteinerTree:
+    def make_star(self):
+        # driver + 2 sinks joined at one Steiner node
+        return SteinerTree(
+            net_index=0,
+            pin_ids=[10, 11, 12],
+            pin_xy=np.array([[0.0, 0.0], [4.0, 2.0], [4.0, -2.0]]),
+            steiner_xy=np.array([[4.0, 0.0]]),
+            edges=[(0, 3), (3, 1), (3, 2)],
+        )
+
+    def test_wirelength(self):
+        assert self.make_star().wirelength() == 8.0
+
+    def test_validate_catches_disconnected(self):
+        tree = self.make_star()
+        tree.edges = [(0, 3), (3, 1), (1, 3)]
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_validate_catches_wrong_edge_count(self):
+        tree = self.make_star()
+        tree.edges.append((0, 1))
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_directed_edges_rooted_at_driver(self):
+        directed = self.make_star().directed_edges()
+        assert (0, 3) in directed
+        assert len(directed) == 3
+
+    def test_copy_is_deep(self):
+        tree = self.make_star()
+        dup = tree.copy()
+        dup.steiner_xy[0, 0] = 99.0
+        assert tree.steiner_xy[0, 0] == 4.0
+
+    def test_prune_leaf_steiner(self):
+        tree = SteinerTree(
+            net_index=0,
+            pin_ids=[1, 2],
+            pin_xy=np.array([[0.0, 0.0], [2.0, 0.0]]),
+            steiner_xy=np.array([[1.0, 1.0]]),
+            edges=[(0, 1), (1, 2)],
+        )
+        tree.prune_leaf_steiner()
+        assert tree.n_steiner == 0
+        tree.validate()
+
+    def test_prune_collinear_degree2(self):
+        tree = SteinerTree(
+            net_index=0,
+            pin_ids=[1, 2],
+            pin_xy=np.array([[0.0, 0.0], [4.0, 0.0]]),
+            steiner_xy=np.array([[2.0, 0.0]]),
+            edges=[(0, 2), (2, 1)],
+        )
+        tree.prune_degree2_steiner()
+        assert tree.n_steiner == 0
+        tree.validate()
+
+    def test_prune_keeps_corner(self):
+        tree = SteinerTree(
+            net_index=0,
+            pin_ids=[1, 2],
+            pin_xy=np.array([[0.0, 0.0], [4.0, 4.0]]),
+            steiner_xy=np.array([[4.0, 0.0]]),
+            edges=[(0, 2), (2, 1)],
+        )
+        tree.prune_degree2_steiner()
+        assert tree.n_steiner == 1  # the L-bend is meaningful
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = generate_netlist(
+        GeneratorConfig(name="s", n_registers=6, n_comb=40, depth=5, seed=4)
+    )
+    place(nl)
+    return nl
+
+
+class TestForest:
+    def test_build_covers_all_multi_pin_nets(self, design):
+        forest = build_forest(design)
+        multi = [n for n in design.nets if n.degree >= 2]
+        assert forest.num_trees == len(multi)
+        forest.validate()
+
+    def test_flat_coords_roundtrip(self, design):
+        forest = build_forest(design)
+        coords = forest.get_steiner_coords()
+        shifted = coords + 1.5
+        forest.set_steiner_coords(shifted)
+        assert np.allclose(forest.get_steiner_coords(), shifted)
+
+    def test_set_wrong_size_rejected(self, design):
+        forest = build_forest(design)
+        with pytest.raises(ValueError):
+            forest.set_steiner_coords(np.zeros((forest.num_steiner_points + 1, 2)))
+
+    def test_clamp(self, design):
+        forest = build_forest(design)
+        coords = forest.get_steiner_coords()
+        coords[:, 0] = -100.0
+        clamped = forest.clamp_coords(coords)
+        assert clamped[:, 0].min() >= 0.0
+
+    def test_round_array(self):
+        out = SteinerForest.round_array(np.array([[1.2345, 2.9999]]))
+        assert np.allclose(out, [[1.23, 3.0]])
+
+    def test_two_pin_segments_count(self, design):
+        forest = build_forest(design)
+        assert len(forest.two_pin_segments()) == forest.num_edges
+
+    def test_copy_independent(self, design):
+        forest = build_forest(design)
+        dup = forest.copy()
+        coords = dup.get_steiner_coords()
+        if coords.size:
+            dup.set_steiner_coords(coords + 5.0)
+            assert not np.allclose(
+                forest.get_steiner_coords(), dup.get_steiner_coords()
+            )
+
+    def test_steiner_slice_partition(self, design):
+        forest = build_forest(design)
+        total = 0
+        for i, tree in enumerate(forest.trees):
+            sl = forest.steiner_slice(i)
+            assert sl.stop - sl.start == tree.n_steiner
+            total += tree.n_steiner
+        assert total == forest.num_steiner_points
+
+
+class TestEdgeShifting:
+    def test_preserves_validity(self, design):
+        forest = build_forest(design)
+        shift_edges(forest)
+        forest.validate()
+
+    def test_reduces_self_congestion_cost(self, design):
+        from repro.steiner.edge_shifting import _self_density_probe
+
+        forest = build_forest(design)
+        g = design.technology.gcell_size
+
+        def total_cost(f):
+            probe = _self_density_probe(f, g)
+            return sum(
+                probe(x1, y1, x2, y2) for _, (x1, y1), (x2, y2) in f.two_pin_segments()
+            )
+
+        before = total_cost(forest)
+        moved = shift_edges(forest, passes=2)
+        after = total_cost(forest)
+        if moved:
+            assert after <= before * 1.05  # no significant regression
+
+    def test_converges(self, design):
+        forest = build_forest(design)
+        shift_edges(forest, passes=3)
+        # A further pass against the same static field should move little.
+        moved = shift_edges(forest, passes=1)
+        assert moved <= forest.num_steiner_points

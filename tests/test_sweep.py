@@ -1,0 +1,34 @@
+"""Tests for the clock-period sweep calibration tool."""
+
+from repro.experiments import sweep
+
+
+class TestSweep:
+    def test_monotone_in_period(self):
+        result = sweep.run(design="spm", period_scales=(0.5, 1.0, 4.0))
+        wns = [p.wns for p in result.points]
+        vios = [p.violations for p in result.points]
+        # Looser clocks can only improve slack and reduce violations.
+        assert wns == sorted(wns)
+        assert vios == sorted(vios, reverse=True)
+
+    def test_crossover_detection(self):
+        result = sweep.run(design="spm", period_scales=(1.0, 50.0))
+        cross = result.crossover_period()
+        assert cross is not None
+        assert result.points[-1].wns > 0
+
+    def test_format(self):
+        result = sweep.run(design="spm", period_scales=(1.0,))
+        text = sweep.format_result(result)
+        assert "Clock sweep on spm" in text
+        assert "WNS" in text
+
+    def test_restores_original_clock(self):
+        from repro.flow.pipeline import prepare_design
+
+        netlist, _ = prepare_design("spm")
+        original = netlist.clock.period
+        sweep.run(design="spm", period_scales=(2.0,))
+        netlist2, _ = prepare_design("spm")
+        assert netlist2.clock.period == original

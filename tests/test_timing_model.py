@@ -1,0 +1,225 @@
+"""Tests for the GNN timing evaluator: graph build, forward, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.flow.pipeline import make_training_samples, prepare_design
+from repro.timing_model.dataset import make_sample
+from repro.timing_model.graph import NODE_DRIVER, NODE_SINK, NODE_STEINER, build_timing_graph
+from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+from repro.timing_model.train import TrainerConfig, evaluate_r2, r2_score, train_evaluator
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    return prepare_design("spm")
+
+
+@pytest.fixture(scope="module")
+def graph(small_design):
+    netlist, forest = small_design
+    return build_timing_graph(netlist, forest)
+
+
+class TestTimingGraph:
+    def test_node_counts(self, small_design, graph):
+        netlist, forest = small_design
+        expected = sum(t.n_nodes for t in forest.trees)
+        assert graph.n_sg_nodes == expected
+        assert graph.num_steiner == forest.num_steiner_points
+
+    def test_node_types_partition(self, graph):
+        types = graph.sg_node_type
+        assert set(np.unique(types)) <= {NODE_DRIVER, NODE_SINK, NODE_STEINER}
+        assert (types == NODE_STEINER).sum() == graph.num_steiner
+
+    def test_broadcast_edges_match_tree_edges(self, small_design, graph):
+        _, forest = small_design
+        assert graph.sg_bcast_src.size == forest.num_edges
+
+    def test_reduce_edges_one_per_sink(self, small_design, graph):
+        _, forest = small_design
+        expected = sum(t.n_pins - 1 for t in forest.trees)
+        assert graph.sg_reduce_src.size == expected
+
+    def test_steiner_flat_mapping_bijective(self, graph):
+        assert len(set(graph.sg_steiner_flat.tolist())) == graph.num_steiner
+
+    def test_levels_cover_all_reachable_sinks(self, small_design, graph):
+        netlist, _ = small_design
+        sinks = {s for lv in graph.levels for s in lv.net_sink}
+        outs = {o for lv in graph.levels for o in lv.cell_out}
+        all_net_sinks = {s for net in netlist.nets for s in net.sinks}
+        assert sinks == all_net_sinks
+        assert len(outs) > 0
+
+    def test_path_entries_reference_valid_arcs(self, graph):
+        if graph.path_arc.size:
+            assert graph.path_arc.max() < graph.n_net_arcs
+            assert graph.path_src.max() < graph.n_sg_nodes
+
+    def test_endpoints_and_required(self, small_design, graph):
+        netlist, _ = small_design
+        assert set(graph.endpoints) == set(netlist.endpoints())
+        assert graph.required.shape == graph.endpoints.shape
+
+    def test_startpoints_have_launch_arrivals(self, small_design, graph):
+        # The model's launch set is PIs + register *clock* pins (the
+        # clk->q arc is then a learned cell delay), unlike
+        # netlist.startpoints() which lists Q pins per STA convention.
+        netlist, _ = small_design
+        pi = {p.index for p in netlist.primary_inputs()}
+        ck = {
+            c.pin_indices[c.cell_type.clock_pin] for c in netlist.registers()
+        }
+        assert set(graph.startpoints) == pi | ck
+        assert np.all(np.isfinite(graph.start_arrival))
+
+    def test_congestion_default_none(self, graph):
+        assert graph.congestion is None
+
+
+class TestEvaluatorForward:
+    def test_output_shapes(self, small_design, graph):
+        netlist, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        out = model(graph, Tensor(forest.get_steiner_coords()))
+        assert out["arrival"].shape == (netlist.num_pins,)
+        assert out["pin_embedding"].shape == (netlist.num_pins, 8)
+
+    def test_deterministic(self, small_design, graph):
+        _, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        a = model.predict_arrivals(graph, forest.get_steiner_coords())
+        b = model.predict_arrivals(graph, forest.get_steiner_coords())
+        assert np.array_equal(a, b)
+
+    def test_same_seed_same_model(self, small_design, graph):
+        _, forest = small_design
+        m1 = TimingEvaluator(EvaluatorConfig(hidden=8, seed=5))
+        m2 = TimingEvaluator(EvaluatorConfig(hidden=8, seed=5))
+        coords = forest.get_steiner_coords()
+        assert np.allclose(m1.predict_arrivals(graph, coords), m2.predict_arrivals(graph, coords))
+
+    def test_arrivals_nonnegative_on_reachable(self, small_design, graph):
+        _, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        arrival = model.predict_arrivals(graph, forest.get_steiner_coords())
+        assert np.all(arrival[graph.reachable] >= -1e-9)
+
+    def test_gradient_flows_to_steiner_coords(self, small_design, graph):
+        _, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        coords = Tensor(forest.get_steiner_coords(), requires_grad=True)
+        out = model(graph, coords)
+        out["arrival"][graph.endpoints].sum().backward()
+        assert coords.grad is not None
+        assert np.abs(coords.grad).sum() > 0
+
+    def test_gradcheck_against_numeric(self, small_design, graph):
+        _, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=6, seed=3))
+        coords = forest.get_steiner_coords()
+
+        def loss_of(c):
+            arr = model.predict_arrivals(graph, c)
+            return float(arr[graph.endpoints].sum())
+
+        t = Tensor(coords, requires_grad=True)
+        out = model(graph, t)
+        out["arrival"][graph.endpoints].sum().backward()
+        rng = np.random.default_rng(0)
+        h = 1e-5
+        for _ in range(6):
+            i = int(rng.integers(coords.shape[0]))
+            j = int(rng.integers(2))
+            cp, cm = coords.copy(), coords.copy()
+            cp[i, j] += h
+            cm[i, j] -= h
+            numeric = (loss_of(cp) - loss_of(cm)) / (2 * h)
+            assert abs(numeric - t.grad[i, j]) < 5e-4 + 0.05 * abs(numeric)
+
+    def test_moving_points_changes_prediction(self, small_design, graph):
+        _, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        coords = forest.get_steiner_coords()
+        a = model.predict_arrivals(graph, coords)
+        b = model.predict_arrivals(graph, coords + 5.0)
+        assert not np.allclose(a[graph.endpoints], b[graph.endpoints])
+
+    def test_congestion_field_feeds_forward(self, small_design):
+        netlist, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        g0 = build_timing_graph(netlist, forest, congestion=None)
+        util = np.full((10, 10), 0.9)
+        g1 = build_timing_graph(netlist, forest, congestion=util)
+        coords = forest.get_steiner_coords()
+        a = model.predict_arrivals(g0, coords)
+        b = model.predict_arrivals(g1, coords)
+        assert not np.allclose(a, b)
+
+
+class TestTraining:
+    def test_r2_score_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_score_mean_predictor(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, truth.mean())
+        assert abs(r2_score(truth, pred)) < 1e-12
+
+    def test_r2_empty(self):
+        assert np.isnan(r2_score(np.array([]), np.array([])))
+
+    def test_loss_decreases(self):
+        samples = make_training_samples(["spm"], train_names=["spm"], augment=0)
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        result = train_evaluator(
+            model, samples, TrainerConfig(epochs=25, learning_rate=5e-3, patience=30)
+        )
+        assert result.losses[-1] < result.losses[0]
+
+    def test_training_improves_r2(self):
+        samples = make_training_samples(["spm"], train_names=["spm"], augment=0)
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        before = evaluate_r2(model, samples)["spm"]["arrival_all"]
+        train_evaluator(model, samples, TrainerConfig(epochs=60, learning_rate=5e-3, patience=60))
+        after = evaluate_r2(model, samples)["spm"]["arrival_all"]
+        assert after > before
+
+    def test_requires_training_samples(self):
+        samples = make_training_samples(["spm"], train_names=[], augment=0)
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        with pytest.raises(ValueError):
+            train_evaluator(model, samples)
+
+    def test_state_dict_roundtrip_preserves_predictions(self, small_design, graph):
+        _, forest = small_design
+        model = TimingEvaluator(EvaluatorConfig(hidden=8))
+        state = model.state_dict()
+        clone = TimingEvaluator(EvaluatorConfig(hidden=8, seed=123))
+        clone.load_state_dict(state)
+        coords = forest.get_steiner_coords()
+        assert np.allclose(
+            model.predict_arrivals(graph, coords), clone.predict_arrivals(graph, coords)
+        )
+
+
+class TestDataset:
+    def test_make_sample_masks_startpoints(self, small_design):
+        netlist, forest = small_design
+        sample = make_sample(netlist, forest, None)
+        assert not sample.label_mask[sample.graph.startpoints].any()
+
+    def test_endpoint_mask_subset(self, small_design):
+        netlist, forest = small_design
+        sample = make_sample(netlist, forest, None)
+        assert sample.endpoint_mask.sum() <= sample.label_mask.sum()
+
+    def test_augmented_samples_differ(self):
+        samples = make_training_samples(["spm"], train_names=["spm"], augment=2)
+        coords = [s.steiner_coords for s in samples]
+        assert len(samples) == 3
+        assert not np.allclose(coords[0], coords[1])

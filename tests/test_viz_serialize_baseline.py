@@ -1,0 +1,160 @@
+"""Tests for visualization, model serialization and the linear baseline."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.flow.pipeline import make_training_samples, prepare_design
+from repro.routegrid import GCellGrid
+from repro.groute import GlobalRouter
+from repro.sta.engine import STAEngine
+from repro.timing_model import (
+    EvaluatorConfig,
+    LinearBaseline,
+    TimingEvaluator,
+    TrainerConfig,
+    load_evaluator,
+    pin_features,
+    save_evaluator,
+    train_evaluator,
+)
+from repro.timing_model.graph import build_timing_graph
+
+
+@pytest.fixture(scope="module")
+def spm():
+    return prepare_design("spm")
+
+
+class TestSvg:
+    def test_renders_cells_and_trees(self, spm):
+        netlist, forest = spm
+        svg = viz.render_design_svg(netlist, forest)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= netlist.num_cells
+        assert "<polyline" in svg
+        assert "<circle" in svg  # Steiner markers
+
+    def test_congestion_underlay(self, spm):
+        netlist, forest = spm
+        grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
+        GlobalRouter(grid).route(forest)
+        svg = viz.render_design_svg(netlist, forest, congestion=grid.utilization_map())
+        assert 'opacity="0.' in svg
+
+    def test_highlight_subset(self, spm):
+        netlist, forest = spm
+        target = forest.trees[0].net_index
+        svg = viz.render_design_svg(netlist, forest, highlight_nets=[target])
+        assert svg.count("#c22") >= 1
+
+    def test_writes_valid_xml(self, spm, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        netlist, forest = spm
+        svg = viz.render_design_svg(netlist, forest)
+        ET.fromstring(svg)  # raises on malformed XML
+
+
+class TestAscii:
+    def test_congestion_ascii(self, spm):
+        netlist, forest = spm
+        grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
+        GlobalRouter(grid).route(forest)
+        text = viz.congestion_ascii(grid.utilization_map())
+        assert "peak utilization" in text
+
+    def test_congestion_ascii_empty(self):
+        assert "empty" in viz.congestion_ascii(np.zeros((0, 0)))
+
+    def test_slack_histogram(self, spm):
+        netlist, forest = spm
+        report = STAEngine(netlist).run(forest)
+        text = viz.slack_histogram_ascii(report.slack)
+        assert "endpoints" in text
+        assert "!" in text  # violating bins flagged (design violates)
+
+    def test_slack_histogram_empty(self):
+        assert "no endpoints" in viz.slack_histogram_ascii({})
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_predictions(self, spm, tmp_path):
+        netlist, forest = spm
+        graph = build_timing_graph(netlist, forest)
+        model = TimingEvaluator(EvaluatorConfig(hidden=8, seed=17))
+        path = tmp_path / "model.npz"
+        save_evaluator(model, path)
+        loaded = load_evaluator(path)
+        coords = forest.get_steiner_coords()
+        assert loaded.config.hidden == 8
+        assert np.allclose(
+            model.predict_arrivals(graph, coords),
+            loaded.predict_arrivals(graph, coords),
+        )
+
+    def test_config_fields_roundtrip(self, tmp_path):
+        cfg = EvaluatorConfig(hidden=6, steiner_iterations=2, length_smoothing=0.5)
+        model = TimingEvaluator(cfg)
+        path = tmp_path / "m.npz"
+        save_evaluator(model, path)
+        loaded = load_evaluator(path)
+        assert loaded.config == cfg
+
+
+class TestLinearBaseline:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return make_training_samples(
+            ["spm", "cic_decimator"], train_names=["spm", "cic_decimator"], augment=0
+        )
+
+    def test_features_shape(self, samples):
+        feats = pin_features(samples[0].graph)
+        assert feats.shape == (samples[0].graph.n_pins, 7)
+        assert np.isfinite(feats).all()
+
+    def test_fit_and_scores(self, samples):
+        baseline = LinearBaseline().fit(samples)
+        scores = baseline.evaluate(samples)
+        # The linear model captures the level/accumulation trend.
+        assert all(s > 0.2 for s in scores.values())
+
+    def test_gnn_competitive_with_linear_baseline(self, samples):
+        # On tiny designs with a small training budget the engineered
+        # linear baseline fits arrival levels very well; the GNN must at
+        # least be competitive.  (Its decisive advantage is not raw R²
+        # but the differentiable path from Steiner *coordinates* to the
+        # prediction — the baseline has no gradient to offer the
+        # refinement loop at all.)
+        baseline = LinearBaseline().fit(samples)
+        base_scores = baseline.evaluate(samples)
+        model = TimingEvaluator(EvaluatorConfig(hidden=12))
+        train_evaluator(
+            model, samples, TrainerConfig(epochs=300, learning_rate=5e-3, patience=120)
+        )
+        from repro.timing_model.train import evaluate_r2
+
+        gnn_scores = evaluate_r2(model, samples)
+        gnn_mean = np.mean([v["arrival_all"] for v in gnn_scores.values()])
+        base_mean = np.mean(list(base_scores.values()))
+        assert gnn_mean > 0.5
+        assert gnn_mean > base_mean - 0.2
+
+    def test_unfit_predict_raises(self, samples):
+        with pytest.raises(RuntimeError):
+            LinearBaseline().predict(samples[0].graph)
+
+    def test_fit_requires_train(self, samples):
+        for s in samples:
+            s_flag = s.is_train
+        held_out = [s for s in samples]
+        for s in held_out:
+            s.is_train = False
+        try:
+            with pytest.raises(ValueError):
+                LinearBaseline().fit(held_out)
+        finally:
+            for s in held_out:
+                s.is_train = True
