@@ -5,18 +5,29 @@ Usage::
     python -m repro table1            # one artifact
     python -m repro all               # every table and figure
     python -m repro table2 --profile full
+    python -m repro table2 --timeout 600 --checkpoint-dir ckpt
+    python -m repro table2 --resume   # continue a killed run
 
 Profiles: quick (default, four designs), full (ten designs at half
 scale), paper (the complete reproduction — slow).
+
+Resilience (docs/RESILIENCE.md): ``--timeout`` installs a wall-clock
+budget shared by training, refinement and routing — artifacts come
+back best-so-far instead of hanging; ``--checkpoint-dir`` makes the
+expensive steps snapshot atomically; ``--resume`` continues from those
+snapshots.  A failing artifact prints the failing stage from the
+structured error taxonomy and the process exits nonzero.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 
 from repro.experiments import ablation, fig2, fig5, table1, table2, table3, table4
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, set_runtime_defaults
+from repro.runtime import Budget, ReproError, StageError
 
 _ARTIFACTS = {
     "table1": (table1.run, table1.format_result),
@@ -33,6 +44,17 @@ _PROFILES = {
     "full": ExperimentConfig.full,
     "paper": ExperimentConfig.paper,
 }
+
+_DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+
+def _describe_failure(name: str, exc: BaseException) -> str:
+    """One-line diagnosis from the error taxonomy."""
+    if isinstance(exc, StageError):
+        return f"artifact {name!r} failed in stage {exc.stage!r}: {exc}"
+    if isinstance(exc, ReproError):
+        return f"artifact {name!r} failed ({type(exc).__name__}): {exc}"
+    return f"artifact {name!r} failed ({type(exc).__name__}): {exc}"
 
 
 def main(argv=None) -> int:
@@ -51,16 +73,49 @@ def main(argv=None) -> int:
         default="quick",
         help="experiment scale profile (default: quick)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget shared by training/refinement/routing; "
+        "expired stages return best-so-far results flagged timed_out",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for atomic snapshots of trainer/refinement state "
+        "(enables resume after a kill)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from snapshots in --checkpoint-dir "
+        f"(default: {_DEFAULT_CHECKPOINT_DIR})",
+    )
     args = parser.parse_args(argv)
     config = _PROFILES[args.profile]()
 
+    checkpoint_dir = args.checkpoint_dir
+    if args.resume and checkpoint_dir is None:
+        checkpoint_dir = _DEFAULT_CHECKPOINT_DIR
+    budget = Budget(wall_seconds=args.timeout) if args.timeout is not None else None
+    set_runtime_defaults(checkpoint_dir=checkpoint_dir, budget=budget)
+
     names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    failures = 0
     for name in names:
         run, fmt = _ARTIFACTS[name]
         print(f"=== {name} ({args.profile} profile) ===")
-        print(fmt(run(config)))
+        try:
+            print(fmt(run(config)))
+        except Exception as exc:
+            failures += 1
+            print(_describe_failure(name, exc), file=sys.stderr)
+            traceback.print_exc()
         print()
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -92,6 +92,25 @@ class Adam(Optimizer):
             v += (1.0 - b2) * g * g
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
 
+    def state_dict(self) -> dict:
+        """Moment/step state for checkpointing (parameter-order keyed)."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (same param order)."""
+        if len(state["m"]) != len(self.params) or len(state["v"]) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(state['m'])} moment arrays for "
+                f"{len(self.params)} parameters"
+            )
+        self._t = int(state["t"])
+        self._m = [np.array(m, dtype=np.float64, copy=True) for m in state["m"]]
+        self._v = [np.array(v, dtype=np.float64, copy=True) for v in state["v"]]
+
 
 class PaperSO:
     """The paper's stochastic optimizer (Eq. (7)) over coordinate arrays.

@@ -40,11 +40,17 @@ def adaptive_theta(
     if coords.size == 0:
         return fallback
     g0 = np.asarray(gradient_fn(coords), dtype=np.float64)
+    # A zero or non-finite probe gradient (dead model, NaN poisoning)
+    # must yield the fallback stepsize, never propagate into PaperSO.
+    if g0.shape != coords.shape or not np.isfinite(g0).all():
+        return fallback
     g0_norm = float(np.linalg.norm(g0))
     if not np.isfinite(g0_norm) or g0_norm < 1e-15:
         return fallback
     probe = coords + alpha * g0  # Eq. (8)
     g1 = np.asarray(gradient_fn(probe), dtype=np.float64)
+    if g1.shape != coords.shape or not np.isfinite(g1).all():
+        return fallback
     dg_norm = float(np.linalg.norm(g0 - g1))
     dx_norm = float(np.linalg.norm(coords - probe))  # == alpha * g0_norm
     if not np.isfinite(dg_norm) or dg_norm < 1e-15:

@@ -22,7 +22,8 @@ The loop mirrors the pseudocode line for line:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +31,17 @@ from repro.autodiff.optim import AccumulatingSO, PaperSO
 from repro.autodiff.tensor import Tensor
 from repro.core.adaptive import adaptive_theta
 from repro.core.penalty import PenaltyConfig, hard_metrics, smoothed_penalty
+from repro.runtime import (
+    Budget,
+    BudgetExceeded,
+    CheckpointError,
+    ValidatorError,
+    atomic_save_npz,
+    check_finite,
+    load_npz,
+    retry_call,
+    validate_policy,
+)
 from repro.timing_model.graph import TimingGraph
 from repro.timing_model.model import TimingEvaluator
 
@@ -104,6 +116,17 @@ class RefinementConfig:
     polish_probes: int = 48
     polish_top_k: int = 24
     polish_steps: Tuple[float, ...] = (0.5, 1.0, 2.0)  # in GCell units
+    # ---- resilience (docs/RESILIENCE.md) ----
+    # Non-finite gradients / arrivals / candidate coordinates either
+    # abort the run ("raise", a NumericalError) or skip the poisoned
+    # step and shrink theta ("sanitize") so one bad step cannot discard
+    # the whole refinement.
+    nonfinite_policy: str = "raise"
+    # A failing oracle probe is retried with backoff; once retries are
+    # exhausted the loop degrades to evaluator-only acceptance
+    # (RefinementResult.degraded) instead of crashing Algorithm 1.
+    validator_retries: int = 2
+    validator_backoff: float = 0.0  # seconds before first retry, doubles
 
 
 @dataclass
@@ -121,6 +144,10 @@ class RefinementResult:
     history: List[Tuple[float, float]] = field(default_factory=list)
     validations: int = 0  # oracle probes run (hybrid mode)
     validated_reverts: int = 0  # probes that rejected the candidate
+    timed_out: bool = False  # a budget expired; best-so-far returned
+    degraded: bool = False  # validator failed; evaluator-only acceptance
+    skipped_steps: int = 0  # steps dropped by the non-finite guard
+    resumed: bool = False  # run continued from a checkpoint
 
     @property
     def wns_improvement(self) -> float:
@@ -164,6 +191,9 @@ class _Oracle:
 Validator = Callable[[np.ndarray], Tuple[float, float]]
 
 
+_REFINE_CKPT_KIND = "refine-v1"
+
+
 def refine(
     model: TimingEvaluator,
     graph: TimingGraph,
@@ -171,6 +201,10 @@ def refine(
     config: Optional[RefinementConfig] = None,
     clamp_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     validator: Optional[Validator] = None,
+    budget: Optional[Budget] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> RefinementResult:
     """Run Algorithm 1; returns the best coordinates found.
 
@@ -178,8 +212,17 @@ def refine(
     (typically ``forest.clamp_coords``); identity when omitted.
     ``validator`` maps coordinates to real (WNS, TNS) — required for
     ``acceptance="hybrid"``, ignored in ``"evaluator"`` mode.
+
+    Resilience (docs/RESILIENCE.md): an expired ``budget`` returns the
+    best-so-far result flagged ``timed_out=True``; ``checkpoint_path``
+    snapshots the full loop state atomically every ``checkpoint_every``
+    iterations, and ``resume=True`` continues from such a snapshot
+    with byte-identical results to an uninterrupted run.
     """
+    from repro.steiner.forest import SteinerForest
+
     cfg = config or RefinementConfig()
+    policy = validate_policy(cfg.nonfinite_policy)
     coords = np.asarray(initial_coords, dtype=np.float64).reshape(-1, 2).copy()
     if coords.shape[0] != graph.num_steiner:
         raise ValueError(
@@ -189,24 +232,72 @@ def refine(
     clamp = clamp_fn or (lambda c: c)
     oracle = _Oracle(model, graph)
     use_validator = cfg.acceptance == "hybrid" and validator is not None
+    degraded = False
+    skipped_steps = 0
+    timed_out = False
 
     if coords.size == 0:
         wns, tns = oracle.evaluate(coords)
         return RefinementResult(coords, wns, tns, wns, tns, 0, 0.0, 0)
 
+    def call_validator(c: np.ndarray) -> Optional[Tuple[float, float]]:
+        """Probe the real flow with retry; ``None`` == degrade, don't crash."""
+        nonlocal degraded, use_validator
+        if budget is not None:
+            budget.spend_probe()
+
+        def probe(arr: np.ndarray) -> Tuple[float, float]:
+            rw, rt = validator(arr)
+            if not (np.isfinite(rw) and np.isfinite(rt)):
+                raise ValidatorError(f"validator returned non-finite metrics ({rw}, {rt})")
+            return float(rw), float(rt)
+
+        try:
+            return retry_call(
+                probe,
+                c,
+                attempts=cfg.validator_retries + 1,
+                backoff=cfg.validator_backoff,
+            )
+        except BudgetExceeded:
+            raise
+        except Exception:
+            degraded = True
+            use_validator = False
+            return None
+
     pcfg = cfg.penalty
 
-    # Lines 1-2: initial evaluated metrics.
-    init_wns, init_tns = oracle.evaluate(coords)
-    best_wns, best_tns = init_wns, init_tns
+    ckpt = None
+    if resume and checkpoint_path is not None and Path(checkpoint_path).exists():
+        ckpt = load_npz(checkpoint_path)
+        meta = ckpt.get("meta") or {}
+        if meta.get("kind") != _REFINE_CKPT_KIND:
+            raise CheckpointError(f"{checkpoint_path} is not a refinement checkpoint")
+        if np.asarray(ckpt["coords"]).shape != coords.shape:
+            raise CheckpointError(
+                f"checkpoint coords shape {np.asarray(ckpt['coords']).shape} does "
+                f"not match design shape {coords.shape}"
+            )
 
-    # Line 3: adaptive stepsize (Eq. 8-9).
-    theta = adaptive_theta(
-        coords,
-        lambda c: oracle.gradient(clamp(c), pcfg)[0],
-        alpha=cfg.alpha,
-        fallback=graph.netlist.technology.gcell_size * 0.1,
-    )
+    if ckpt is None:
+        # Lines 1-2: initial evaluated metrics.
+        init_wns, init_tns = oracle.evaluate(coords)
+        best_wns, best_tns = init_wns, init_tns
+
+        # Line 3: adaptive stepsize (Eq. 8-9).
+        theta = adaptive_theta(
+            coords,
+            lambda c: oracle.gradient(clamp(c), pcfg)[0],
+            alpha=cfg.alpha,
+            fallback=graph.netlist.technology.gcell_size * 0.1,
+        )
+    else:
+        init_wns = float(ckpt["init_wns"])
+        init_tns = float(ckpt["init_tns"])
+        best_wns = float(ckpt["best_wns"])
+        best_tns = float(ckpt["best_tns"])
+        theta = float(ckpt["theta0"])
 
     # Line 5: optimizer.
     if cfg.optimizer == "paper":
@@ -230,9 +321,73 @@ def refine(
     real_coords = coords.copy()
     prop_idx = 0
     schedule: Sequence[Tuple[float, float]] = cfg.proposal_schedule or ((cfg.move_fraction, 1.0),)
-    if use_validator:
-        real_wns, real_tns = validator(coords)
+
+    if ckpt is not None:
+        coords = np.array(ckpt["coords"], dtype=np.float64, copy=True)
+        best_coords = np.array(ckpt["best_coords"], dtype=np.float64, copy=True)
+        real_coords = np.array(ckpt["real_coords"], dtype=np.float64, copy=True)
+        history = [(float(w), float(n)) for w, n in np.asarray(ckpt["history"]).reshape(-1, 2)]
+        t = int(ckpt["t"])
+        accepted = int(ckpt["accepted"])
+        pending_accepts = int(ckpt["pending_accepts"])
+        prop_idx = int(ckpt["prop_idx"])
+        validations = int(ckpt["validations"])
+        validated_reverts = int(ckpt["validated_reverts"])
+        skipped_steps = int(ckpt["skipped_steps"])
+        degraded = bool(ckpt["degraded"])
+        use_validator = bool(ckpt["validator_on"]) and validator is not None
+        if bool(ckpt["has_real"]):
+            real_wns = float(ckpt["real_wns"])
+            real_tns = float(ckpt["real_tns"])
+        pcfg = PenaltyConfig(
+            lambda_wns=float(ckpt["lambda_wns"]),
+            lambda_tns=float(ckpt["lambda_tns"]),
+            gamma=float(ckpt["gamma"]),
+        )
+        so.theta = float(ckpt["so_theta"])
+        if isinstance(so, AccumulatingSO) and "so_m" in ckpt:
+            so._m = np.array(ckpt["so_m"], dtype=np.float64, copy=True)
+            so._v = np.array(ckpt["so_v"], dtype=np.float64, copy=True)
+            so._t = int(ckpt["so_t"])
+    elif use_validator:
+        anchor = call_validator(coords)
         validations += 1
+        if anchor is not None:
+            real_wns, real_tns = anchor
+
+    def save_checkpoint() -> None:
+        arrays = {
+            "coords": coords,
+            "best_coords": best_coords,
+            "real_coords": real_coords,
+            "history": np.asarray(history, dtype=np.float64).reshape(-1, 2),
+            "t": t,
+            "accepted": accepted,
+            "pending_accepts": pending_accepts,
+            "prop_idx": prop_idx,
+            "validations": validations,
+            "validated_reverts": validated_reverts,
+            "skipped_steps": skipped_steps,
+            "best_wns": best_wns,
+            "best_tns": best_tns,
+            "init_wns": init_wns,
+            "init_tns": init_tns,
+            "theta0": theta,
+            "so_theta": so.theta,
+            "lambda_wns": pcfg.lambda_wns,
+            "lambda_tns": pcfg.lambda_tns,
+            "gamma": pcfg.gamma,
+            "degraded": degraded,
+            "validator_on": use_validator,
+            "has_real": real_wns is not None,
+            "real_wns": float("nan") if real_wns is None else real_wns,
+            "real_tns": float("nan") if real_tns is None else real_tns,
+        }
+        if isinstance(so, AccumulatingSO) and so._m is not None:
+            arrays["so_m"] = so._m
+            arrays["so_v"] = so._v
+            arrays["so_t"] = so._t
+        atomic_save_npz(checkpoint_path, arrays, meta={"kind": _REFINE_CKPT_KIND})
 
     def validate_candidate() -> None:
         """Probe the real flow; keep or revert to the last real anchor.
@@ -241,15 +396,22 @@ def refine(
         byte-identical geometry the production flow will route — the
         0.01 um snap can flip GCell assignments, so validating the
         unrounded point would anchor on a different route.
+
+        A probe that keeps failing after retries flips the run into
+        degraded evaluator-only mode: the pending candidate stays
+        accepted on the evaluator's word, and no further probes run.
         """
         nonlocal real_wns, real_tns, real_coords, coords, validations
         nonlocal validated_reverts, pending_accepts, best_wns, best_tns, best_coords
         nonlocal prop_idx
-        from repro.steiner.forest import SteinerForest
 
         validations += 1
         rounded = SteinerForest.round_array(coords)
-        rw, rt = validator(rounded)
+        probed = call_validator(rounded)
+        if probed is None:  # degraded — stop validating, keep refining
+            pending_accepts = 0
+            return
+        rw, rt = probed
         if cfg.validation_rule == "penalty":
             w_w = abs(cfg.penalty.lambda_wns)
             w_t = abs(cfg.penalty.lambda_tns)
@@ -277,45 +439,6 @@ def refine(
         pending_accepts = 0
 
     while True:
-        # Line 7: concurrent update of all Steiner points.
-        grad, _, _ = oracle.gradient(coords, pcfg)
-        candidate = so.update(coords, grad)
-        step = np.clip(candidate - coords, -move_cap, move_cap)
-        fraction = cfg.move_fraction
-        if use_validator:
-            fraction = min(fraction, schedule[prop_idx % len(schedule)][0])
-        if fraction < 1.0 and coords.shape[0] > 4:
-            # Concentrate the move on the most critical points.
-            magnitude = np.abs(grad).sum(axis=1)
-            k = max(1, int(np.ceil(coords.shape[0] * fraction)))
-            threshold = np.partition(magnitude, -k)[-k]
-            step = step * (magnitude >= threshold)[:, None]
-        candidate = clamp(coords + step)
-
-        # Line 8: evaluate the temporary solution.
-        wns, tns = oracle.evaluate(candidate)
-        history.append((wns, tns))
-
-        # Lines 9-14: accept if either metric improved, else revert.
-        if wns > best_wns or tns > best_tns:
-            best_wns = max(best_wns, wns)
-            best_tns = max(best_tns, tns)
-            coords = candidate
-            best_coords = candidate.copy()
-            accepted += 1
-            pending_accepts += 1
-            so.theta = min(so.theta * cfg.expand_on_accept, theta)
-            if use_validator and pending_accepts >= cfg.validate_every:
-                validate_candidate()
-        else:
-            # Revert; shrink the stepsize so the next candidate differs.
-            so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
-
-        t += 1
-        # Penalty escalation from iteration 5 (Section IV-A).
-        if t >= cfg.escalation_start:
-            pcfg = pcfg.escalated(cfg.escalation_rate)
-
         # Line 16: iteration cap.
         if t >= cfg.max_iterations:
             break
@@ -324,15 +447,77 @@ def refine(
             init_tns, best_tns, cfg.converge_ratio
         ):
             break
+        # Cooperative budget check: wind down with the best-so-far.
+        if budget is not None and budget.expired():
+            timed_out = True
+            break
+
+        # Line 7: concurrent update of all Steiner points.
+        grad, _, _ = oracle.gradient(coords, pcfg)
+        candidate = None
+        if check_finite(grad, "refinement gradient", policy):
+            candidate = so.update(coords, grad)
+            step = np.clip(candidate - coords, -move_cap, move_cap)
+            fraction = cfg.move_fraction
+            if use_validator:
+                fraction = min(fraction, schedule[prop_idx % len(schedule)][0])
+            if fraction < 1.0 and coords.shape[0] > 4:
+                # Concentrate the move on the most critical points.
+                magnitude = np.abs(grad).sum(axis=1)
+                k = max(1, int(np.ceil(coords.shape[0] * fraction)))
+                threshold = np.partition(magnitude, -k)[-k]
+                step = step * (magnitude >= threshold)[:, None]
+            candidate = clamp(coords + step)
+            if not check_finite(candidate, "candidate coordinates", policy):
+                candidate = None
+
+        if candidate is None:
+            # Poisoned step under the sanitize policy: skip it, shrink
+            # theta so the next proposal differs, keep the run alive.
+            skipped_steps += 1
+            so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
+            history.append((best_wns, best_tns))
+        else:
+            # Line 8: evaluate the temporary solution.
+            wns, tns = oracle.evaluate(candidate)
+            if not check_finite((wns, tns), "evaluated metrics", policy):
+                skipped_steps += 1
+                so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
+                history.append((best_wns, best_tns))
+            else:
+                history.append((wns, tns))
+
+                # Lines 9-14: accept if either metric improved, else revert.
+                if wns > best_wns or tns > best_tns:
+                    best_wns = max(best_wns, wns)
+                    best_tns = max(best_tns, tns)
+                    coords = candidate
+                    best_coords = candidate.copy()
+                    accepted += 1
+                    pending_accepts += 1
+                    so.theta = min(so.theta * cfg.expand_on_accept, theta)
+                    if use_validator and pending_accepts >= cfg.validate_every:
+                        validate_candidate()
+                else:
+                    # Revert; shrink the stepsize so the next candidate differs.
+                    so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
+
+        t += 1
+        # Penalty escalation from iteration 5 (Section IV-A).
+        if t >= cfg.escalation_start:
+            pcfg = pcfg.escalated(cfg.escalation_rate)
+
+        if checkpoint_path is not None and t % max(1, checkpoint_every) == 0:
+            save_checkpoint()
 
     if use_validator:
-        if pending_accepts:
+        if pending_accepts and not timed_out:
             validate_candidate()
         # ---- oracle-polish stage ----
-        if cfg.polish_probes > 0 and coords.size:
-            real_coords, real_wns, real_tns, probes = _polish(
+        if use_validator and cfg.polish_probes > 0 and coords.size and not timed_out:
+            real_coords, real_wns, real_tns, probes, polish_timed_out = _polish(
                 oracle,
-                validator,
+                call_validator,
                 clamp,
                 real_coords,
                 real_wns,
@@ -340,9 +525,18 @@ def refine(
                 pcfg,
                 cfg,
                 graph.netlist.technology.gcell_size,
+                budget=budget,
             )
             validations += probes
-        best_coords = real_coords
+            timed_out = timed_out or polish_timed_out
+    if use_validator or (degraded and cfg.acceptance == "hybrid"):
+        if use_validator:
+            best_coords = real_coords
+        else:
+            # Degraded mid-run: the surviving coordinates are the
+            # evaluator's accepted trajectory; round them so the
+            # hybrid-mode contract (routable snapped geometry) holds.
+            best_coords = SteinerForest.round_array(best_coords)
 
     return RefinementResult(
         coords=best_coords,
@@ -356,6 +550,10 @@ def refine(
         history=history,
         validations=validations,
         validated_reverts=validated_reverts,
+        timed_out=timed_out,
+        degraded=degraded,
+        skipped_steps=skipped_steps,
+        resumed=ckpt is not None,
     )
 
 
@@ -368,7 +566,7 @@ def _converged(init: float, best: float, mu: float) -> bool:
 
 def _polish(
     oracle: _Oracle,
-    validator: Validator,
+    call_validator: Callable[[np.ndarray], Optional[Tuple[float, float]]],
     clamp: Callable[[np.ndarray], np.ndarray],
     anchor: np.ndarray,
     anchor_wns: float,
@@ -376,7 +574,8 @@ def _polish(
     pcfg: PenaltyConfig,
     cfg: RefinementConfig,
     gcell: float,
-) -> Tuple[np.ndarray, float, float, int]:
+    budget: Optional[Budget] = None,
+) -> Tuple[np.ndarray, float, float, int, bool]:
     """Per-point oracle-validated descent on the most critical points.
 
     Cycles through the ``polish_top_k`` Steiner points with the largest
@@ -385,6 +584,11 @@ def _polish(
     keeps the move only if the real (validated) weighted penalty
     improves.  The gradient is re-evaluated after every accepted move so
     the ranking tracks the evolving critical paths.
+
+    ``call_validator`` is the retry/degrade wrapper from :func:`refine`:
+    a ``None`` probe means the oracle went down and polishing stops at
+    the current best.  An expired ``budget`` likewise stops the stage
+    (reported through the returned ``timed_out`` flag).
     """
     from repro.steiner.forest import SteinerForest
 
@@ -397,12 +601,16 @@ def _polish(
     best = anchor.copy()
     best_wns, best_tns = anchor_wns, anchor_tns
     probes = 0
+    timed_out = False
 
     grad, _, _ = oracle.gradient(best, pcfg)
     order = np.argsort(-np.abs(grad).sum(axis=1))[: cfg.polish_top_k]
     cursor = 0
     step_idx = 0
     while probes < cfg.polish_probes and order.size:
+        if budget is not None and budget.expired():
+            timed_out = True
+            break
         point = int(order[cursor % order.size])
         direction = -grad[point]
         norm = float(np.linalg.norm(direction))
@@ -416,12 +624,15 @@ def _polish(
         candidate = best.copy()
         candidate[point] = candidate[point] + step * direction / norm
         candidate = SteinerForest.round_array(clamp(candidate))
-        rw, rt = validator(candidate)
+        probed = call_validator(candidate)
         probes += 1
+        if probed is None:  # oracle down — keep the validated best
+            break
+        rw, rt = probed
         if score(rw, rt) > score(best_wns, best_tns):
             best = candidate
             best_wns, best_tns = rw, rt
             grad, _, _ = oracle.gradient(best, pcfg)
             order = np.argsort(-np.abs(grad).sum(axis=1))[: cfg.polish_top_k]
             cursor = 0
-    return best, best_wns, best_tns, probes
+    return best, best_wns, best_tns, probes, timed_out

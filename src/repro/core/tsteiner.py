@@ -37,13 +37,23 @@ class TSteiner:
         self.model = model
         self.config = config or RefinementConfig()
 
-    def optimize(self, netlist: Netlist, forest: SteinerForest) -> RefinementResult:
+    def optimize(
+        self,
+        netlist: Netlist,
+        forest: SteinerForest,
+        budget=None,
+        checkpoint_path=None,
+        resume: bool = False,
+    ) -> RefinementResult:
         """Refine ``forest`` in place; returns the refinement record.
 
         Runs a fast global-routing probe first to obtain the congestion
         field the evaluator consumes — the paper likewise extracts its
         features "from the Steiner tree construction stage in global
         routing" (its Table IV attributes the GR-time increase to this).
+
+        ``budget``/``checkpoint_path``/``resume`` are forwarded to
+        :func:`repro.core.refine.refine` (see docs/RESILIENCE.md).
         """
         congestion = self._congestion_probe(netlist, forest)
         graph = build_timing_graph(netlist, forest, congestion=congestion)
@@ -54,6 +64,9 @@ class TSteiner:
             config=self.config,
             clamp_fn=forest.clamp_coords,
             validator=self._make_validator(netlist, forest),
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
         )
         import numpy as np
 

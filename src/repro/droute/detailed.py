@@ -52,6 +52,7 @@ class DetailedRouteResult:
     num_vias: int
     num_drvs: int
     repair_rounds_used: int
+    timed_out: bool = False  # budget expired; repair loop cut short
 
     def as_row(self) -> Tuple[float, int, int]:
         return (self.wirelength, self.num_vias, self.num_drvs)
@@ -64,7 +65,16 @@ class DetailedRouter:
         self.grid = grid
         self.config = config or DetailedRouterConfig()
 
-    def route(self, forest: SteinerForest, global_result: GlobalRouteResult) -> DetailedRouteResult:
+    def route(
+        self, forest: SteinerForest, global_result: GlobalRouteResult, budget=None
+    ) -> DetailedRouteResult:
+        """Detail-route one design.
+
+        ``budget`` (a :class:`repro.runtime.Budget`) stops the DRV
+        repair loop at the next iteration boundary once expired: the
+        unrepaired violations stay in ``num_drvs`` and the result is
+        flagged ``timed_out=True``.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
 
@@ -94,7 +104,11 @@ class DetailedRouter:
         # ---- repair loop (does real work so wall time tracks DRVs) ----
         remaining = int(raw_drvs)
         rounds = 0
+        timed_out = False
         while remaining > 0 and rounds < cfg.repair_iterations:
+            if budget is not None and budget.expired():
+                timed_out = True
+                break
             rounds += 1
             self._repair_pass(remaining, heat)
             fixed = int(np.ceil(remaining * cfg.repair_rate))
@@ -105,6 +119,7 @@ class DetailedRouter:
             num_vias=int(num_vias),
             num_drvs=int(remaining),
             repair_rounds_used=rounds,
+            timed_out=timed_out,
         )
 
     @staticmethod

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,9 +27,11 @@ from repro.core.refine import RefinementConfig
 from repro.flow.pipeline import FlowResult, make_training_samples, prepare_design, run_routing_flow
 from repro.netlist.benchmarks import BENCHMARKS, TEST_BENCHMARKS, TRAIN_BENCHMARKS
 from repro.netlist.netlist import Netlist
+from repro.runtime import Budget, CheckpointError
 from repro.steiner.forest import SteinerForest
 from repro.timing_model.dataset import DesignSample
 from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+from repro.timing_model.serialize import load_evaluator, save_evaluator
 from repro.timing_model.train import TrainerConfig, train_evaluator
 
 
@@ -106,10 +109,25 @@ class ExperimentConfig:
 
 
 class ExperimentContext:
-    """Lazily-built, cached pipeline artifacts for one configuration."""
+    """Lazily-built, cached pipeline artifacts for one configuration.
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    ``checkpoint_dir`` makes the expensive build steps resumable
+    (docs/RESILIENCE.md): the trained evaluator is saved there
+    atomically and reloaded on the next run instead of retrained, and
+    the trainer itself checkpoints per epoch so a killed training run
+    resumes mid-way.  ``budget`` is threaded through training and the
+    optimized flow runs so a wall-clock limit degrades gracefully.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        budget: Optional[Budget] = None,
+    ) -> None:
         self.config = config
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.budget = budget
         self._designs: Dict[str, Tuple[Netlist, SteinerForest]] = {}
         self._baselines: Dict[str, FlowResult] = {}
         self._optimized: Dict[str, FlowResult] = {}
@@ -136,6 +154,9 @@ class ExperimentContext:
                 forest,
                 model=self.model(),
                 refinement_config=self.config.refinement_config(),
+                budget=self.budget,
+                checkpoint_dir=self.checkpoint_dir,
+                resume=self.checkpoint_dir is not None,
             )
         return self._optimized[name]
 
@@ -155,6 +176,15 @@ class ExperimentContext:
 
     def model(self) -> TimingEvaluator:
         if self._model is None:
+            evaluator_path = None
+            if self.checkpoint_dir is not None:
+                evaluator_path = self.checkpoint_dir / "evaluator.npz"
+                if evaluator_path.exists():
+                    try:
+                        self._model = load_evaluator(evaluator_path)
+                        return self._model
+                    except CheckpointError:
+                        pass  # corrupt/foreign file: fall through and retrain
             cfg = self.config
             model = TimingEvaluator(EvaluatorConfig(hidden=cfg.hidden, seed=cfg.seed))
             train_evaluator(
@@ -165,19 +195,53 @@ class ExperimentContext:
                     learning_rate=cfg.learning_rate,
                     patience=cfg.patience,
                 ),
+                budget=self.budget,
+                checkpoint_path=(
+                    self.checkpoint_dir / "trainer.npz"
+                    if self.checkpoint_dir is not None
+                    else None
+                ),
+                resume=self.checkpoint_dir is not None,
             )
+            if evaluator_path is not None:
+                save_evaluator(model, evaluator_path)
             self._model = model
         return self._model
 
 
 _CONTEXTS: Dict[ExperimentConfig, ExperimentContext] = {}
 
+# Process-level runtime defaults, set by the CLI (python -m repro
+# --timeout/--checkpoint-dir) before artifact modules call get_context.
+_RUNTIME_DEFAULTS: Dict[str, object] = {"checkpoint_dir": None, "budget": None}
+
+
+def set_runtime_defaults(
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    budget: Optional[Budget] = None,
+) -> None:
+    """Install checkpoint-dir/budget defaults for subsequently built contexts."""
+    _RUNTIME_DEFAULTS["checkpoint_dir"] = checkpoint_dir
+    _RUNTIME_DEFAULTS["budget"] = budget
+
 
 def get_context(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
-    """Process-cached context for ``config`` (default: env profile)."""
+    """Process-cached context for ``config`` (default: env profile).
+
+    New contexts pick up the runtime defaults installed by
+    :func:`set_runtime_defaults` (or the ``REPRO_CHECKPOINT_DIR``
+    environment variable when no default is set).
+    """
     config = config or ExperimentConfig.from_env()
     if config not in _CONTEXTS:
-        _CONTEXTS[config] = ExperimentContext(config)
+        checkpoint_dir = _RUNTIME_DEFAULTS["checkpoint_dir"] or os.environ.get(
+            "REPRO_CHECKPOINT_DIR"
+        )
+        _CONTEXTS[config] = ExperimentContext(
+            config,
+            checkpoint_dir=checkpoint_dir,
+            budget=_RUNTIME_DEFAULTS["budget"],
+        )
     return _CONTEXTS[config]
 
 

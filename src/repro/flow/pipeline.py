@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.refine import RefinementConfig, RefinementResult
+from repro.runtime import Budget, StageError
 from repro.core.tsteiner import TSteiner
 from repro.droute.detailed import DetailedRouter, DetailedRouterConfig
 from repro.groute.layer_assign import assign_layers
@@ -47,10 +49,19 @@ class FlowResult:
     refinement: Optional[RefinementResult] = None
     report: Optional[TimingReport] = None
     route_result: Optional[GlobalRouteResult] = None
+    # Resilience: per-stage failures recorded by the guarded flow
+    # (stage name -> "ExceptionType: message"); a result with entries
+    # here is *partial* — unreachable metrics are NaN/zero.
+    stage_errors: Dict[str, str] = field(default_factory=dict)
+    timed_out: bool = False  # any stage wound down on an expired budget
 
     @property
     def total_runtime(self) -> float:
         return sum(self.runtimes.values())
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.stage_errors)
 
 
 def prepare_design(
@@ -80,52 +91,108 @@ def run_routing_flow(
     router_config: Optional[RouterConfig] = None,
     droute_config: Optional[DetailedRouterConfig] = None,
     engine: Optional[STAEngine] = None,
+    budget: Optional[Budget] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    strict: bool = False,
 ) -> FlowResult:
     """Route and sign off one design; optionally run TSteiner first.
 
     The input ``forest`` is not mutated — the flow operates on a copy,
     so a single prepared design can feed both arms of Table II.
+
+    Every stage runs guarded (docs/RESILIENCE.md): a failing stage is
+    recorded in ``FlowResult.stage_errors`` and the flow continues with
+    what it has — a crashed TSteiner falls back to the unrefined
+    forest, a crashed STA returns routing metrics with NaN timing.
+    ``strict=True`` restores fail-fast behaviour by re-raising the
+    first failure as a :class:`~repro.runtime.errors.StageError`.
+    ``budget`` is shared across refinement, global routing, detailed
+    routing; stages past an expired budget degrade rather than hang.
+    ``checkpoint_dir``/``resume`` enable refinement snapshots.
     """
     work = forest.copy()
     runtimes: Dict[str, float] = {}
     refinement: Optional[RefinementResult] = None
+    stage_errors: Dict[str, str] = {}
+    timed_out = False
+
+    def guard(stage: str, exc: Exception) -> None:
+        if strict:
+            raise StageError(stage, exc)
+        stage_errors[stage] = f"{type(exc).__name__}: {exc}"
 
     if model is not None:
         t0 = time.perf_counter()
-        optimizer = TSteiner(model, refinement_config)
-        refinement = optimizer.optimize(netlist, work)
+        try:
+            optimizer = TSteiner(model, refinement_config)
+            ckpt = (
+                Path(checkpoint_dir) / f"refine-{netlist.name}.npz"
+                if checkpoint_dir is not None
+                else None
+            )
+            refinement = optimizer.optimize(
+                netlist, work, budget=budget, checkpoint_path=ckpt, resume=resume
+            )
+            timed_out = timed_out or refinement.timed_out
+        except Exception as exc:
+            # Degrade to the baseline arm: route the unrefined forest.
+            guard("tsteiner", exc)
         runtimes["tsteiner"] = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
+    route_result: Optional[GlobalRouteResult] = None
     grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
-    router = GlobalRouter(grid, router_config)
-    route_result = router.route(work)
-    assign_layers(route_result, netlist.technology, grid.nx * grid.ny)
+    t0 = time.perf_counter()
+    try:
+        router = GlobalRouter(grid, router_config)
+        route_result = router.route(work, budget=budget)
+        assign_layers(route_result, netlist.technology, grid.nx * grid.ny)
+        timed_out = timed_out or route_result.timed_out
+    except Exception as exc:
+        guard("groute", exc)
     runtimes["groute"] = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    droute = DetailedRouter(grid, droute_config)
-    detail = droute.route(work, route_result)
-    runtimes["droute"] = time.perf_counter() - t0
+    detail = None
+    if route_result is not None:
+        t0 = time.perf_counter()
+        try:
+            droute = DetailedRouter(grid, droute_config)
+            detail = droute.route(work, route_result, budget=budget)
+            timed_out = timed_out or detail.timed_out
+        except Exception as exc:
+            guard("droute", exc)
+        runtimes["droute"] = time.perf_counter() - t0
+    else:
+        stage_errors.setdefault("droute", "skipped: global routing failed")
 
-    t0 = time.perf_counter()
-    engine = engine or STAEngine(netlist)
-    report = engine.run(work, route_result, utilization=grid.utilization_map())
-    runtimes["sta"] = time.perf_counter() - t0
+    report = None
+    if route_result is not None:
+        t0 = time.perf_counter()
+        try:
+            engine = engine or STAEngine(netlist)
+            report = engine.run(work, route_result, utilization=grid.utilization_map())
+        except Exception as exc:
+            guard("sta", exc)
+        runtimes["sta"] = time.perf_counter() - t0
+    else:
+        stage_errors.setdefault("sta", "skipped: global routing failed")
 
+    nan = float("nan")
     return FlowResult(
         name=netlist.name,
-        wns=report.wns,
-        tns=report.tns,
-        num_violations=report.num_violations,
-        wirelength=detail.wirelength,
-        num_vias=detail.num_vias,
-        num_drvs=detail.num_drvs,
+        wns=report.wns if report is not None else nan,
+        tns=report.tns if report is not None else nan,
+        num_violations=report.num_violations if report is not None else 0,
+        wirelength=detail.wirelength if detail is not None else nan,
+        num_vias=detail.num_vias if detail is not None else 0,
+        num_drvs=detail.num_drvs if detail is not None else 0,
         runtimes=runtimes,
-        overflow=route_result.overflow,
+        overflow=route_result.overflow if route_result is not None else 0.0,
         refinement=refinement,
         report=report,
         route_result=route_result,
+        stage_errors=stage_errors,
+        timed_out=timed_out,
     )
 
 

@@ -70,6 +70,7 @@ class GlobalRouteResult:
     max_utilization: float
     total_wirelength: float
     maze_routed: int
+    timed_out: bool = False  # budget expired; negotiation degraded/cut short
 
     def segment(self, key: SegmentKey) -> SegmentRoute:
         return self.segments[key]
@@ -83,9 +84,17 @@ class GlobalRouter:
         self.config = config or RouterConfig()
 
     # ------------------------------------------------------------------
-    def route(self, forest: SteinerForest) -> GlobalRouteResult:
-        """Route every tree edge; returns the committed result."""
+    def route(self, forest: SteinerForest, budget=None) -> GlobalRouteResult:
+        """Route every tree edge; returns the committed result.
+
+        ``budget`` (a :class:`repro.runtime.Budget`) makes the router
+        cooperative: once it expires, remaining segments take their
+        cheapest pattern route (no maze search) and the rip-up
+        negotiation rounds stop, so the caller always gets a complete —
+        if congestion-degraded — routing flagged ``timed_out=True``.
+        """
         self.grid.reset_usage()
+        timed_out = False
         jobs: List[Tuple[SegmentKey, int, GridPoint, GridPoint, float, float]] = []
         for t_idx, tree in enumerate(forest.trees):
             xy = tree.node_xy()
@@ -103,8 +112,15 @@ class GlobalRouter:
         segments: Dict[SegmentKey, SegmentRoute] = {}
         deltas: Dict[SegmentKey, Tuple[float, float]] = {}
         maze_count = 0
-        for key, net_index, p1, p2, dx, dy in jobs:
-            path, used_maze = self._route_segment(p1, p2)
+        for job_idx, (key, net_index, p1, p2, dx, dy) in enumerate(jobs):
+            if not timed_out and budget is not None and job_idx % 64 == 0 and budget.expired():
+                timed_out = True
+            if timed_out:
+                # Degraded completion: cheapest pattern, no maze search.
+                path, _ = self._best_pattern(p1, p2) if p1 != p2 else ([p1], 0.0)
+                used_maze = False
+            else:
+                path, used_maze = self._route_segment(p1, p2)
             if used_maze:
                 maze_count += 1
             self._commit(path)
@@ -114,6 +130,9 @@ class GlobalRouter:
         # Negotiation rounds: rip up segments crossing overflowed edges.
         for _ in range(self.config.ripup_rounds):
             if self.grid.overflow() <= 0:
+                break
+            if budget is not None and budget.expired():
+                timed_out = True
                 break
             self.grid.bump_history(self.config.history_increment)
             victims = [k for k, s in segments.items() if self._crosses_overflow(s.path)]
@@ -135,6 +154,7 @@ class GlobalRouter:
             max_utilization=self.grid.max_utilization(),
             total_wirelength=total_wl,
             maze_routed=maze_count,
+            timed_out=timed_out,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Resilience runtime: guards, budgets, checkpoints, retry, fault injection.
+
+This package is the survival layer under every long-running loop in the
+reproduction (docs/RESILIENCE.md).  It deliberately imports nothing
+from the rest of ``repro`` except numpy-level utilities, so any module
+— core, flow, timing_model, routers — can depend on it without cycles.
+"""
+
+from repro.runtime.budget import Budget, ManualClock
+from repro.runtime.checkpoint import atomic_save_npz, load_npz
+from repro.runtime.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    FaultInjected,
+    NumericalError,
+    ReproError,
+    StageError,
+    ValidatorError,
+)
+from repro.runtime.guards import (
+    POLICY_RAISE,
+    POLICY_SANITIZE,
+    all_finite,
+    check_finite,
+    sanitize,
+    validate_policy,
+)
+from repro.runtime.retry import retry_call
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CheckpointError",
+    "FaultInjected",
+    "ManualClock",
+    "NumericalError",
+    "POLICY_RAISE",
+    "POLICY_SANITIZE",
+    "ReproError",
+    "StageError",
+    "ValidatorError",
+    "all_finite",
+    "atomic_save_npz",
+    "check_finite",
+    "load_npz",
+    "retry_call",
+    "sanitize",
+    "validate_policy",
+]

@@ -1,0 +1,94 @@
+"""Wall-clock and probe-count budgets with cooperative checks.
+
+Long-running loops (Algorithm 1, evaluator training, the negotiated
+routers) poll a shared :class:`Budget` at iteration boundaries and wind
+down gracefully when it expires: they return their best-so-far result
+flagged ``timed_out=True`` instead of hanging or dying mid-flight.
+
+The clock is injectable so tests can drive deadline expiry
+deterministically with :class:`ManualClock` — no real sleeping, no
+timing flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.runtime.errors import BudgetExceeded
+
+
+class ManualClock:
+    """Deterministic test clock: ``now()`` returns an explicit counter.
+
+    ``advance`` doubles as a drop-in ``sleep`` replacement, so retry
+    backoff and fault "stall" injection consume *virtual* time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += float(seconds)
+
+    # Alias so a ManualClock can be passed wherever a sleep fn is wanted.
+    sleep = advance
+
+
+class Budget:
+    """A cooperative budget over wall-clock seconds and/or oracle probes.
+
+    ``None`` for either limit means unlimited.  The budget starts
+    counting at construction; ``restart()`` rebases the clock (used when
+    a budget object is built before the work it governs).
+
+    A single Budget may be threaded through several stages — refinement,
+    training, routing — so the *whole* flow shares one deadline, the way
+    a sign-off farm kills a job at its slot limit rather than per-tool.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        max_probes: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.wall_seconds = wall_seconds
+        self.max_probes = max_probes
+        self._clock = clock or time.monotonic
+        self._start = self._clock()
+        self.probes_spent = 0
+
+    # ------------------------------------------------------------------
+    def restart(self) -> "Budget":
+        self._start = self._clock()
+        self.probes_spent = 0
+        return self
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.wall_seconds is None:
+            return None
+        return self.wall_seconds - self.elapsed()
+
+    def spend_probe(self, n: int = 1) -> None:
+        self.probes_spent += n
+
+    # ------------------------------------------------------------------
+    def expired(self) -> bool:
+        """True once either limit is exhausted (cooperative check)."""
+        if self.wall_seconds is not None and self.elapsed() >= self.wall_seconds:
+            return True
+        if self.max_probes is not None and self.probes_spent >= self.max_probes:
+            return True
+        return False
+
+    def check(self, what: str = "budget") -> None:
+        """Hard variant: raise :class:`BudgetExceeded` when expired."""
+        if self.expired():
+            raise BudgetExceeded(what)

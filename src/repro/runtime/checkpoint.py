@@ -1,0 +1,111 @@
+"""Atomic checkpoint I/O.
+
+All snapshots in this repo — refinement state, trainer state, the
+serialized evaluator — go through :func:`atomic_save_npz`: the payload
+is written to a temporary file in the target directory and moved into
+place with ``os.replace``, so a kill at any instant leaves either the
+previous complete checkpoint or the new complete checkpoint, never a
+truncated hybrid.  :func:`load_npz` re-validates on the way back in and
+raises :class:`~repro.runtime.errors.CheckpointError` on anything
+unreadable, so a corrupt file surfaces as a clean, typed failure
+instead of a zipfile traceback ten frames deep.
+
+Scalars (python ints/floats/bools) ride along as 0-d numpy arrays; the
+loader unwraps them, so callers round-trip plain dictionaries of
+numbers and arrays without manual packing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.runtime.errors import CheckpointError
+
+# Format marker: lets the loader reject files that are valid .npz but
+# were never written by this module (or by a newer incompatible layout).
+FORMAT_KEY = "__repro_ckpt__"
+FORMAT_VERSION = 1
+
+# JSON sidecar key for non-array metadata (strings, nested config).
+META_KEY = "__meta_json__"
+
+
+def atomic_save_npz(
+    path: Union[str, Path],
+    arrays: Dict[str, Any],
+    meta: Dict[str, Any] = None,
+) -> Path:
+    """Atomically write ``arrays`` (+ optional JSON ``meta``) to ``path``.
+
+    Values may be numpy arrays or python scalars.  The write is
+    temp-file + ``os.replace``: concurrent readers always see a
+    complete file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, np.ndarray] = {FORMAT_KEY: np.asarray(FORMAT_VERSION)}
+    for key, value in arrays.items():
+        if key in (FORMAT_KEY, META_KEY):
+            raise ValueError(f"reserved checkpoint key {key!r}")
+        payload[key] = np.asarray(value)
+    if meta is not None:
+        blob = json.dumps(meta).encode("utf-8")
+        payload[META_KEY] = np.frombuffer(blob, dtype=np.uint8)
+
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_npz(path: Union[str, Path], require: tuple = ()) -> Dict[str, Any]:
+    """Load a checkpoint written by :func:`atomic_save_npz`.
+
+    Returns a dict of arrays with 0-d arrays unwrapped to python
+    scalars, plus the JSON metadata under ``"meta"`` when present.
+    Raises :class:`CheckpointError` on a missing file, a truncated or
+    corrupt archive, a foreign .npz, or missing ``require`` keys.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            files = set(data.files)
+            if FORMAT_KEY not in files:
+                raise CheckpointError(
+                    f"{path} is not a repro checkpoint (missing {FORMAT_KEY})"
+                )
+            out: Dict[str, Any] = {}
+            for key in files - {FORMAT_KEY, META_KEY}:
+                arr = data[key]
+                out[key] = arr.item() if arr.ndim == 0 else arr
+            if META_KEY in files:
+                out["meta"] = json.loads(bytes(data[META_KEY].tobytes()).decode("utf-8"))
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zipfile/ValueError/OSError → typed error
+        raise CheckpointError(f"corrupt or unreadable checkpoint {path}: {exc}") from exc
+    missing = [k for k in require if k not in out]
+    if missing:
+        raise CheckpointError(f"checkpoint {path} missing keys {missing}")
+    return out

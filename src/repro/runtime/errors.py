@@ -1,0 +1,70 @@
+"""Structured exception taxonomy for the resilience runtime.
+
+Every failure the flow can survive is funnelled through one of these
+classes so callers (and the CLI) can distinguish *what kind* of thing
+went wrong without string-matching messages:
+
+* :class:`NumericalError` — non-finite values where finite ones are
+  required (gradients, arrival times, candidate coordinates);
+* :class:`StageError` — a flow stage raised; carries the stage name and
+  the original exception as ``__cause__``;
+* :class:`ValidatorError` — the sign-off-lite oracle probe failed;
+* :class:`BudgetExceeded` — a wall-clock or probe budget expired where
+  a caller asked for a hard stop (cooperative loops normally *return*
+  a flagged best-so-far result instead of raising);
+* :class:`CheckpointError` — a checkpoint file is missing required
+  keys, truncated, or otherwise unreadable;
+* :class:`FaultInjected` — raised by the deterministic fault-injection
+  harness (tests only); inherits :class:`ReproError` so guarded stages
+  treat it like any real failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for all structured errors raised by this package."""
+
+
+class NumericalError(ReproError):
+    """A quantity that must be finite (gradient, arrival, coordinate) is not."""
+
+    def __init__(self, what: str, detail: str = "") -> None:
+        self.what = what
+        msg = f"non-finite values in {what}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class StageError(ReproError):
+    """A named flow stage failed; the original exception is ``__cause__``."""
+
+    def __init__(self, stage: str, cause: Optional[BaseException] = None) -> None:
+        self.stage = stage
+        detail = f": {type(cause).__name__}: {cause}" if cause is not None else ""
+        super().__init__(f"stage {stage!r} failed{detail}")
+        if cause is not None:
+            self.__cause__ = cause
+
+
+class ValidatorError(ReproError):
+    """The routing+STA oracle probe raised or returned unusable metrics."""
+
+
+class BudgetExceeded(ReproError):
+    """A wall-clock or probe budget was exhausted and a hard stop was requested."""
+
+    def __init__(self, what: str = "budget") -> None:
+        self.what = what
+        super().__init__(f"{what} exhausted")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint/weights file is corrupt, truncated, or incompatible."""
+
+
+class FaultInjected(ReproError):
+    """Deterministically injected failure (see :mod:`repro.runtime.faults`)."""

@@ -1,0 +1,150 @@
+"""Deterministic fault injection.
+
+The resilience guarantees in this repo — degrade on validator failure,
+skip-and-shrink on NaN gradients, best-so-far on deadline expiry,
+byte-identical resume — are only guarantees if they are *testable on
+demand*.  This harness makes any wrapped callable misbehave on exactly
+the k-th call:
+
+* ``mode="raise"`` — raise a chosen exception (default
+  :class:`FaultInjected`);
+* ``mode="nan"`` — run the real call, then poison every float in the
+  result with NaN (arrays, scalars, tuples/lists/dicts thereof, and
+  Tensor-likes exposing a ``data`` ndarray);
+* ``mode="stall"`` — consume ``stall_seconds`` via the injectable
+  ``sleep`` before delegating; paired with a
+  :class:`~repro.runtime.budget.ManualClock` this drives deadline
+  expiry with zero real waiting.
+
+Faults fire on 1-based call indices, optionally repeating from that
+index onward (``repeat=True`` models a hard-down dependency rather
+than a transient blip).
+
+Two entry points: :func:`wrap` returns a counting proxy for a callable
+you hand somewhere (a validator, a gradient fn); :func:`inject` is a
+context manager that temporarily replaces ``obj.attr`` — including
+class attributes, so ``inject(GlobalRouter, "route", ...)`` faults
+every router the flow constructs — and always restores on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.errors import FaultInjected
+
+MODE_RAISE = "raise"
+MODE_NAN = "nan"
+MODE_STALL = "stall"
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault: fire on the ``at_call``-th invocation."""
+
+    at_call: int
+    mode: str = MODE_RAISE
+    exc: Optional[BaseException] = None  # instance or class; raise-mode only
+    stall_seconds: float = 0.0
+    repeat: bool = False  # fire on every call >= at_call
+
+    def fires(self, call_index: int) -> bool:
+        if self.repeat:
+            return call_index >= self.at_call
+        return call_index == self.at_call
+
+
+def _poison(value: Any) -> Any:
+    """Recursively replace floats with NaN, preserving structure."""
+    if isinstance(value, np.ndarray):
+        if np.issubdtype(value.dtype, np.floating):
+            return np.full_like(value, np.nan)
+        return value
+    if isinstance(value, float):
+        return float("nan")
+    if isinstance(value, tuple):
+        return tuple(_poison(v) for v in value)
+    if isinstance(value, list):
+        return [_poison(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _poison(v) for k, v in value.items()}
+    data = getattr(value, "data", None)
+    if isinstance(data, np.ndarray) and np.issubdtype(data.dtype, np.floating):
+        value.data = np.full_like(data, np.nan)
+        return value
+    return value
+
+
+class FaultyCallable:
+    """Counting proxy that applies scheduled :class:`FaultSpec` faults."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        specs: Tuple[FaultSpec, ...],
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.fn = fn
+        self.specs = tuple(specs)
+        self.sleep = sleep
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        poison = False
+        for spec in self.specs:
+            if not spec.fires(self.calls):
+                continue
+            if spec.mode == MODE_RAISE:
+                exc = spec.exc
+                if exc is None:
+                    exc = FaultInjected(f"injected fault on call {self.calls}")
+                elif isinstance(exc, type):
+                    exc = exc(f"injected fault on call {self.calls}")
+                raise exc
+            if spec.mode == MODE_STALL:
+                self.sleep(spec.stall_seconds)
+            elif spec.mode == MODE_NAN:
+                poison = True
+            else:
+                raise ValueError(f"unknown fault mode {spec.mode!r}")
+        result = self.fn(*args, **kwargs)
+        return _poison(result) if poison else result
+
+
+def wrap(
+    fn: Callable,
+    *specs: FaultSpec,
+    sleep: Callable[[float], None] = time.sleep,
+) -> FaultyCallable:
+    """Return a fault-injecting proxy around ``fn``."""
+    return FaultyCallable(fn, specs, sleep=sleep)
+
+
+@contextlib.contextmanager
+def inject(
+    obj: Any,
+    attr: str,
+    *specs: FaultSpec,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Temporarily replace ``obj.attr`` with a faulty proxy.
+
+    Works on instances and classes alike; for a class attribute the
+    proxy receives ``self`` as its first positional argument exactly
+    like the function it shadows.  Yields the proxy (exposing
+    ``.calls``) and restores the original attribute on exit, even when
+    the injected fault propagates.
+    """
+    original = getattr(obj, attr)
+    proxy = FaultyCallable(original, specs, sleep=sleep)
+    setattr(obj, attr, proxy)
+    try:
+        yield proxy
+    finally:
+        setattr(obj, attr, original)

@@ -1,0 +1,67 @@
+"""Non-finite detection with configurable policy.
+
+The refinement and training loops compute gradients, arrival times and
+candidate coordinates that must stay finite; a single NaN silently
+poisons every downstream accept/revert decision (NaN comparisons are
+all False, so Algorithm 1 would reject forever while Adam moments rot).
+Guards catch the poison at the source under one of two policies:
+
+* ``POLICY_RAISE`` — raise :class:`NumericalError` immediately
+  (default; fail fast in development and CI);
+* ``POLICY_SANITIZE`` — report the problem to the caller, who skips the
+  step / substitutes a safe value and keeps the run alive (production
+  behaviour: one bad step must not discard hours of refinement).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.runtime.errors import NumericalError
+
+POLICY_RAISE = "raise"
+POLICY_SANITIZE = "sanitize"
+POLICIES = (POLICY_RAISE, POLICY_SANITIZE)
+
+
+def validate_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise ValueError(f"unknown non-finite policy {policy!r}; expected one of {POLICIES}")
+    return policy
+
+
+def all_finite(value) -> bool:
+    """True when every element of ``value`` (array or scalar) is finite."""
+    arr = np.asarray(value, dtype=np.float64)
+    return bool(np.isfinite(arr).all())
+
+
+def check_finite(value, what: str, policy: str = POLICY_RAISE) -> bool:
+    """Guard one quantity.
+
+    Returns True when ``value`` is wholly finite.  Otherwise raises
+    :class:`NumericalError` under ``POLICY_RAISE``, or returns False
+    under ``POLICY_SANITIZE`` so the caller can skip the step.
+    """
+    validate_policy(policy)
+    if all_finite(value):
+        return True
+    if policy == POLICY_SANITIZE:
+        return False
+    arr = np.asarray(value, dtype=np.float64)
+    bad = int((~np.isfinite(arr)).sum())
+    raise NumericalError(what, f"{bad}/{arr.size} elements non-finite")
+
+
+def sanitize(value: np.ndarray, fill: float = 0.0) -> Tuple[np.ndarray, int]:
+    """Replace non-finite entries with ``fill``; returns (copy, #replaced)."""
+    arr = np.asarray(value, dtype=np.float64)
+    mask = ~np.isfinite(arr)
+    n_bad = int(mask.sum())
+    if n_bad == 0:
+        return arr, 0
+    out = arr.copy()
+    out[mask] = fill
+    return out, n_bad

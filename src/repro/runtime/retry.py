@@ -1,0 +1,50 @@
+"""Backoff-retry wrapper for flaky stages.
+
+Used by the hybrid refinement loop around the sign-off-lite validator:
+a transient probe failure is retried with (injectable) backoff, and
+only after the attempt budget is exhausted does the caller degrade to
+evaluator-only acceptance.  ``sleep`` is a parameter so tests (and the
+fault harness) substitute a :class:`~repro.runtime.budget.ManualClock`
+and retries cost zero real time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.runtime.errors import BudgetExceeded
+
+T = TypeVar("T")
+
+
+def retry_call(
+    fn: Callable[..., T],
+    *args,
+    attempts: int = 3,
+    backoff: float = 0.0,
+    backoff_factor: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times; re-raise the last failure.
+
+    :class:`BudgetExceeded` is never retried — an expired budget must
+    propagate immediately, retrying it only burns more of nothing.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = backoff
+    last: BaseException = None
+    for attempt in range(attempts):
+        try:
+            return fn(*args, **kwargs)
+        except BudgetExceeded:
+            raise
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 < attempts and delay > 0:
+                sleep(delay)
+                delay *= backoff_factor
+    raise last

@@ -5,38 +5,52 @@ file: the numpy state dict plus the :class:`EvaluatorConfig` fields.
 Used by the experiment harness to reuse a trained model across
 processes, and by downstream users who train once and refine many
 designs.
+
+Writes are atomic (temp file + ``os.replace`` via the runtime
+checkpoint layer), so a kill mid-save leaves the previous complete
+file rather than a truncated archive; loads of truncated/corrupt/
+foreign files raise :class:`~repro.runtime.errors.CheckpointError`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from repro.runtime.checkpoint import atomic_save_npz, load_npz
+from repro.runtime.errors import CheckpointError
 from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
 
-_CONFIG_KEY = "__config_json__"
+_KIND = "timing-evaluator"
 
 
 def save_evaluator(model: TimingEvaluator, path: Union[str, Path]) -> None:
-    """Write the model's weights and config to ``path`` (.npz)."""
-    path = Path(path)
-    payload = dict(model.state_dict())
-    config_json = json.dumps(dataclasses.asdict(model.config))
-    payload[_CONFIG_KEY] = np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **payload)
+    """Atomically write the model's weights and config to ``path`` (.npz)."""
+    atomic_save_npz(
+        path,
+        dict(model.state_dict()),
+        meta={"kind": _KIND, "config": dataclasses.asdict(model.config)},
+    )
 
 
 def load_evaluator(path: Union[str, Path]) -> TimingEvaluator:
-    """Reconstruct a :class:`TimingEvaluator` saved by :func:`save_evaluator`."""
-    path = Path(path)
-    with np.load(path) as data:
-        raw = bytes(data[_CONFIG_KEY].tobytes())
-        config = EvaluatorConfig(**json.loads(raw.decode("utf-8")))
-        state = {k: data[k] for k in data.files if k != _CONFIG_KEY}
+    """Reconstruct a :class:`TimingEvaluator` saved by :func:`save_evaluator`.
+
+    Raises :class:`CheckpointError` when the file is missing, truncated,
+    corrupt, or not an evaluator checkpoint.
+    """
+    data = load_npz(path)
+    meta = data.pop("meta", None)
+    if not isinstance(meta, dict) or meta.get("kind") != _KIND:
+        raise CheckpointError(f"{path} is not a saved TimingEvaluator")
+    config = EvaluatorConfig(**meta["config"])
+    state = {k: np.asarray(v) for k, v in data.items()}
     model = TimingEvaluator(config)
-    model.load_state_dict(state)
+    try:
+        model.load_state_dict(state)
+    except Exception as exc:
+        raise CheckpointError(f"evaluator state in {path} is incompatible: {exc}") from exc
     return model

@@ -6,6 +6,14 @@ the masked pins of every training design.  The trainer reports per-epoch
 losses and supports early stopping on a plateau so benchmark runs do
 not waste time after convergence.
 
+Resilience (docs/RESILIENCE.md): a non-finite loss or gradient either
+aborts (``nonfinite_policy="raise"``) or skips that step
+(``"sanitize"``); an expired :class:`~repro.runtime.budget.Budget`
+stops at the next epoch boundary and returns the best weights so far
+flagged ``timed_out=True``; ``checkpoint_path`` snapshots the full
+trainer state (weights, Adam moments, epoch, loss history, best-state)
+atomically so a killed run resumes byte-identically.
+
 Also hosts :func:`r2_score`, the coefficient-of-determination metric of
 the paper's Eq. (10), used for Table III.
 """
@@ -14,14 +22,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.autodiff import optim
 from repro.autodiff.tensor import Tensor
+from repro.runtime import (
+    Budget,
+    CheckpointError,
+    atomic_save_npz,
+    check_finite,
+    load_npz,
+    validate_policy,
+)
 from repro.timing_model.dataset import DesignSample
 from repro.timing_model.model import TimingEvaluator
+
+_TRAIN_CKPT_KIND = "trainer-v1"
 
 
 @dataclass
@@ -34,6 +53,9 @@ class TrainerConfig:
     patience: int = 25  # epochs without improvement before stopping
     min_delta: float = 1e-5
     verbose: bool = False
+    # "raise" aborts on a non-finite loss/gradient; "sanitize" skips
+    # the poisoned optimizer step and keeps training.
+    nonfinite_policy: str = "raise"
 
 
 def r2_score(truth: np.ndarray, pred: np.ndarray) -> float:
@@ -56,6 +78,9 @@ class TrainResult:
     losses: List[float] = field(default_factory=list)
     best_epoch: int = 0
     final_loss: float = math.inf
+    timed_out: bool = False  # budget expired; best-so-far weights kept
+    skipped_steps: int = 0  # optimizer steps dropped by the NaN guard
+    resumed: bool = False  # run continued from a checkpoint
 
 
 def _sample_loss(model: TimingEvaluator, sample: DesignSample) -> Tensor:
@@ -74,9 +99,14 @@ def train_evaluator(
     model: TimingEvaluator,
     samples: Sequence[DesignSample],
     config: Optional[TrainerConfig] = None,
+    budget: Optional[Budget] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> TrainResult:
     """Train ``model`` on the training subset of ``samples``."""
     cfg = config or TrainerConfig()
+    policy = validate_policy(cfg.nonfinite_policy)
     train_samples = [s for s in samples if s.is_train]
     if not train_samples:
         raise ValueError("no training samples provided")
@@ -87,28 +117,99 @@ def train_evaluator(
     best = math.inf
     stale = 0
     best_state = model.state_dict()
-    for epoch in range(cfg.epochs):
+    start_epoch = 0
+    best_epoch = 0
+
+    ckpt = None
+    if resume and checkpoint_path is not None and Path(checkpoint_path).exists():
+        ckpt = load_npz(checkpoint_path)
+        meta = ckpt.get("meta") or {}
+        if meta.get("kind") != _TRAIN_CKPT_KIND:
+            raise CheckpointError(f"{checkpoint_path} is not a trainer checkpoint")
+        model.load_state_dict(
+            {k[len("param/"):]: np.asarray(v) for k, v in ckpt.items() if k.startswith("param/")}
+        )
+        best_state = {
+            k[len("best/"):]: np.array(v, copy=True)
+            for k, v in ckpt.items()
+            if k.startswith("best/")
+        }
+        n_params = len(optimizer.params)
+        optimizer.load_state_dict(
+            {
+                "t": int(ckpt["adam_t"]),
+                "m": [np.asarray(ckpt[f"adam_m/{i}"]) for i in range(n_params)],
+                "v": [np.asarray(ckpt[f"adam_v/{i}"]) for i in range(n_params)],
+            }
+        )
+        start_epoch = int(ckpt["epoch"])
+        best = float(ckpt["best"])
+        stale = int(ckpt["stale"])
+        best_epoch = int(ckpt["best_epoch"])
+        result.losses = [float(x) for x in np.asarray(ckpt["losses"]).ravel()]
+        result.skipped_steps = int(ckpt["skipped_steps"])
+        result.resumed = True
+
+    def save_checkpoint(epoch_done: int) -> None:
+        arrays: Dict[str, np.ndarray] = {
+            "epoch": epoch_done,
+            "best": best,
+            "stale": stale,
+            "best_epoch": best_epoch,
+            "losses": np.asarray(result.losses, dtype=np.float64),
+            "skipped_steps": result.skipped_steps,
+            "adam_t": optimizer._t,
+        }
+        for name, p in model.state_dict().items():
+            arrays[f"param/{name}"] = p
+        for name, p in best_state.items():
+            arrays[f"best/{name}"] = p
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            arrays[f"adam_m/{i}"] = m
+            arrays[f"adam_v/{i}"] = v
+        atomic_save_npz(checkpoint_path, arrays, meta={"kind": _TRAIN_CKPT_KIND})
+
+    for epoch in range(start_epoch, cfg.epochs):
+        if budget is not None and budget.expired():
+            result.timed_out = True
+            break
         epoch_loss = 0.0
+        counted = 0
         for sample in train_samples:
             optimizer.zero_grad()
             loss = _sample_loss(model, sample)
             loss.backward()
+            step_ok = check_finite(loss.item(), "training loss", policy) and all(
+                p.grad is None or check_finite(p.grad, "parameter gradient", policy)
+                for p in optimizer.params
+            )
+            if not step_ok:
+                # Sanitize policy: drop the poisoned step entirely so
+                # NaN moments never enter Adam's state.
+                result.skipped_steps += 1
+                continue
             optimizer.step()
             epoch_loss += loss.item()
-        epoch_loss /= len(train_samples)
+            counted += 1
+        # Average over the steps that actually ran; an all-skipped epoch
+        # must read as nan, never as a spuriously perfect 0.0 "best".
+        epoch_loss = epoch_loss / counted if counted else float("nan")
         result.losses.append(epoch_loss)
         if cfg.verbose:
             print(f"epoch {epoch:4d}  loss {epoch_loss:.6f}")
-        if epoch_loss < best - cfg.min_delta:
+        if math.isfinite(epoch_loss) and epoch_loss < best - cfg.min_delta:
             best = epoch_loss
-            result.best_epoch = epoch
+            best_epoch = epoch
             best_state = model.state_dict()
             stale = 0
         else:
             stale += 1
-            if stale >= cfg.patience:
-                break
+        if checkpoint_path is not None and (epoch + 1) % max(1, checkpoint_every) == 0:
+            save_checkpoint(epoch + 1)
+        if stale >= cfg.patience:
+            break
     model.load_state_dict(best_state)
+    result.best_epoch = best_epoch
     result.final_loss = best
     return result
 

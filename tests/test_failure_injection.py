@@ -3,6 +3,12 @@
 Every subsystem must behave sanely at the edges: single-pin nets,
 coincident pins, zero gradients, designs with no violations, saturated
 routing grids, and empty structures.
+
+The fault-harness suites at the bottom drive the resilience runtime
+(docs/RESILIENCE.md) with deterministic injected failures: a validator
+that dies mid-refinement, NaN gradients mid-loop, and deadlines that
+expire mid-refinement / mid-training must all produce usable flagged
+results instead of unhandled crashes.
 """
 
 import numpy as np
@@ -10,6 +16,7 @@ import pytest
 
 from repro.autodiff.tensor import Tensor
 from repro.core.penalty import PenaltyConfig, hard_metrics, smoothed_penalty
+from repro.core.refine import RefinementConfig, refine
 from repro.flow.pipeline import prepare_design, run_routing_flow
 from repro.groute.router import GlobalRouter
 from repro.netlist.netlist import Netlist, PinDirection
@@ -17,9 +24,11 @@ from repro.pdk.clocks import ClockSpec
 from repro.pdk.liberty import default_library
 from repro.pdk.technology import default_technology
 from repro.routegrid.grid import GCellGrid
+from repro.runtime import Budget, ManualClock, NumericalError, StageError, faults
 from repro.sta.engine import STAEngine
 from repro.steiner.forest import SteinerForest, build_forest
 from repro.steiner.rsmt import construct_tree
+from repro.timing_model.graph import build_timing_graph
 
 
 class TestDegenerateNets:
@@ -161,3 +170,246 @@ class TestEmptyStructures:
     def test_hard_metrics_empty(self):
         wns, tns, vios = hard_metrics(np.zeros(3), np.array([], dtype=np.int64), np.array([]))
         assert (wns, tns, vios) == (0.0, 0.0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Fault-harness suites: deterministic injected failures against the
+# resilience runtime (repro.runtime).
+# ---------------------------------------------------------------------------
+
+
+class _QuadraticModel:
+    """Differentiable toy evaluator: uniform arrival = scale * sum(coords^2).
+
+    Moving any Steiner point toward the origin lowers every arrival, so
+    refinement makes steady accepted progress with nonzero gradients —
+    a fully deterministic, millisecond-cheap stand-in for the GNN.
+    """
+
+    def __init__(self, scale: float = 1e-4):
+        self.scale = scale
+
+    def __call__(self, graph, coords):
+        spread = (coords * coords).sum() * self.scale
+        return {"arrival": Tensor(np.zeros(graph.n_pins)) + spread}
+
+    def predict_arrivals(self, graph, coords):
+        c = np.asarray(coords, dtype=np.float64)
+        return np.zeros(graph.n_pins) + float((c * c).sum()) * self.scale
+
+
+class _FaultyModel:
+    """Routes a model's forward pass through the fault harness.
+
+    ``model(...)`` resolves ``__call__`` on the *type*, so instance-level
+    injection cannot intercept it — this proxy can.  ``predict_arrivals``
+    (the non-differentiable path) is left untouched.
+    """
+
+    def __init__(self, inner, *specs, sleep=None):
+        self.inner = inner
+        kwargs = {"sleep": sleep} if sleep is not None else {}
+        self._call = faults.wrap(inner.__call__, *specs, **kwargs)
+
+    def __call__(self, graph, coords):
+        return self._call(graph, coords)
+
+    def predict_arrivals(self, graph, coords):
+        return self.inner.predict_arrivals(graph, coords)
+
+
+def _toy_validator(coords: np.ndarray):
+    """Deterministic 'real' metrics that improve as coordinates shrink."""
+    s = float(np.abs(np.asarray(coords, dtype=np.float64)).sum())
+    return (-s * 1e-3, -s * 2e-3)
+
+
+@pytest.fixture(scope="module")
+def spm_design():
+    netlist, forest = prepare_design("spm")
+    graph = build_timing_graph(netlist, forest)
+    return netlist, forest, graph
+
+
+class TestValidatorFailureMidRefinement:
+    def test_hard_validator_failure_degrades(self, spm_design):
+        """A validator that goes hard-down mid-run flips the loop into
+        degraded evaluator-only mode instead of crashing Algorithm 1."""
+        _, forest, graph = spm_design
+        validator = faults.wrap(
+            _toy_validator, faults.FaultSpec(at_call=2, repeat=True)
+        )
+        cfg = RefinementConfig(
+            max_iterations=6,
+            converge_ratio=1e9,
+            acceptance="hybrid",
+            validate_every=1,
+            polish_probes=4,
+            validator_retries=1,
+        )
+        result = refine(
+            _QuadraticModel(), graph, forest.get_steiner_coords(), cfg,
+            validator=validator,
+        )
+        assert result.degraded is True
+        # anchor probe + the probe that died; no polish probes after degrade
+        assert result.validations == 2
+        assert result.iterations == 6
+        assert np.isfinite(result.coords).all()
+        assert result.coords.shape == forest.get_steiner_coords().reshape(-1, 2).shape
+
+    def test_transient_validator_failure_is_retried(self, spm_design):
+        """One blip within the retry allowance never degrades the run."""
+        _, forest, graph = spm_design
+        validator = faults.wrap(_toy_validator, faults.FaultSpec(at_call=2))
+        cfg = RefinementConfig(
+            max_iterations=4,
+            converge_ratio=1e9,
+            acceptance="hybrid",
+            validate_every=1,
+            polish_probes=0,
+            validator_retries=2,
+        )
+        result = refine(
+            _QuadraticModel(), graph, forest.get_steiner_coords(), cfg,
+            validator=validator,
+        )
+        assert result.degraded is False
+        assert validator.calls >= 3  # the failed call plus its retry
+
+
+class TestNaNGradientMidLoop:
+    def _config(self, policy):
+        return RefinementConfig(
+            max_iterations=4,
+            converge_ratio=1e9,
+            acceptance="evaluator",
+            polish_probes=0,
+            nonfinite_policy=policy,
+        )
+
+    def test_sanitize_skips_poisoned_step(self, spm_design):
+        _, forest, graph = spm_design
+        # Calls 1-2 are the adaptive-theta probes; call 4 is iteration 2.
+        model = _FaultyModel(
+            _QuadraticModel(), faults.FaultSpec(at_call=4, mode="nan")
+        )
+        result = refine(model, graph, forest.get_steiner_coords(), self._config("sanitize"))
+        assert result.skipped_steps == 1
+        assert result.iterations == 4  # the run kept going
+        assert len(result.history) == result.iterations
+        assert np.isfinite(result.coords).all()
+        assert np.isfinite(result.best_wns) and np.isfinite(result.best_tns)
+
+    def test_raise_policy_aborts(self, spm_design):
+        _, forest, graph = spm_design
+        model = _FaultyModel(
+            _QuadraticModel(), faults.FaultSpec(at_call=4, mode="nan")
+        )
+        with pytest.raises(NumericalError):
+            refine(model, graph, forest.get_steiner_coords(), self._config("raise"))
+
+
+class TestDeadlineExpiry:
+    def test_mid_refinement_returns_best_so_far(self, spm_design):
+        """A stalled forward pass blows the wall-clock budget; the loop
+        notices at the next iteration boundary and winds down."""
+        _, forest, graph = spm_design
+        clock = ManualClock()
+        budget = Budget(wall_seconds=50.0, clock=clock.now)
+        model = _FaultyModel(
+            _QuadraticModel(),
+            faults.FaultSpec(at_call=4, mode="stall", stall_seconds=100.0),
+            sleep=clock.advance,
+        )
+        cfg = RefinementConfig(
+            max_iterations=10,
+            converge_ratio=1e9,
+            acceptance="evaluator",
+            polish_probes=0,
+        )
+        result = refine(model, graph, forest.get_steiner_coords(), cfg, budget=budget)
+        assert result.timed_out is True
+        # adaptive probes are calls 1-2, so call 4 stalls in iteration 2.
+        assert result.iterations == 2
+        # Best-so-far: accepts only ever improve on the initial metrics.
+        assert result.best_wns >= result.init_wns
+        assert result.best_tns >= result.init_tns
+        assert np.isfinite(result.coords).all()
+
+    def test_mid_training_returns_best_so_far(self, spm_design):
+        from repro.timing_model.dataset import make_sample
+        from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+        from repro.timing_model.train import TrainerConfig, train_evaluator
+
+        netlist, forest, _ = spm_design
+        sample = make_sample(netlist, forest, None, is_train=True)
+        model = TimingEvaluator(EvaluatorConfig(hidden=8, seed=3))
+
+        ticks = {"t": 0.0}
+
+        def ticking_clock() -> float:
+            # Every budget poll costs one virtual second, so the deadline
+            # expires after a deterministic number of epochs.
+            ticks["t"] += 1.0
+            return ticks["t"]
+
+        budget = Budget(wall_seconds=3.5, clock=ticking_clock)
+        cfg = TrainerConfig(epochs=20, patience=100)
+        result = train_evaluator(model, [sample], cfg, budget=budget)
+        assert result.timed_out is True
+        assert 0 < len(result.losses) < cfg.epochs
+        assert all(np.isfinite(result.losses))
+
+    def test_training_nan_labels_skip_steps(self, spm_design):
+        import dataclasses
+
+        from repro.timing_model.dataset import make_sample
+        from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+        from repro.timing_model.train import TrainerConfig, train_evaluator
+
+        netlist, forest, _ = spm_design
+        clean = make_sample(netlist, forest, None, is_train=True)
+        poisoned = dataclasses.replace(
+            clean, arrival_label=np.full_like(clean.arrival_label, np.nan)
+        )
+        model = TimingEvaluator(EvaluatorConfig(hidden=8, seed=3))
+        initial = {k: v.copy() for k, v in model.state_dict().items()}
+
+        cfg = TrainerConfig(epochs=3, patience=10, nonfinite_policy="sanitize")
+        result = train_evaluator(model, [poisoned], cfg)
+        assert result.skipped_steps == 3
+        assert all(np.isnan(result.losses))
+        # Every step was dropped before Adam ran: weights untouched.
+        for k, v in model.state_dict().items():
+            assert np.array_equal(v, initial[k])
+
+        with pytest.raises(NumericalError):
+            train_evaluator(
+                TimingEvaluator(EvaluatorConfig(hidden=8, seed=3)),
+                [poisoned],
+                TrainerConfig(epochs=3, nonfinite_policy="raise"),
+            )
+
+
+class TestGuardedPipelineStages:
+    def test_groute_failure_yields_partial_result(self, spm_design):
+        netlist, forest, _ = spm_design
+        with faults.inject(
+            GlobalRouter, "route", faults.FaultSpec(at_call=1, repeat=True)
+        ):
+            result = run_routing_flow(netlist, forest)
+        assert result.partial is True
+        assert "FaultInjected" in result.stage_errors["groute"]
+        assert result.stage_errors["droute"].startswith("skipped")
+        assert result.stage_errors["sta"].startswith("skipped")
+        assert np.isnan(result.wns) and np.isnan(result.tns)
+
+    def test_strict_mode_raises_stage_error(self, spm_design):
+        netlist, forest, _ = spm_design
+        with faults.inject(
+            GlobalRouter, "route", faults.FaultSpec(at_call=1, repeat=True)
+        ):
+            with pytest.raises(StageError) as exc_info:
+                run_routing_flow(netlist, forest, strict=True)
+        assert exc_info.value.stage == "groute"

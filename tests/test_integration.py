@@ -13,6 +13,8 @@ from repro.flow.pipeline import make_training_samples, prepare_design, run_routi
 from repro.timing_model import EvaluatorConfig, TimingEvaluator, TrainerConfig, train_evaluator
 from repro.timing_model.train import evaluate_r2
 
+pytestmark = pytest.mark.slow  # full train+route pipeline; skipped by -m "not slow"
+
 
 @pytest.fixture(scope="module")
 def trained_model():

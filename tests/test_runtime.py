@@ -1,0 +1,341 @@
+"""Unit tests for the resilience runtime (src/repro/runtime/).
+
+Covers the error taxonomy, budgets with a deterministic clock, atomic
+checkpoint I/O (including corruption), the retry wrapper, non-finite
+guards, the fault-injection harness, the hardened adaptive stepsize,
+and the atomic evaluator serializer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import adaptive_theta
+from repro.runtime import (
+    Budget,
+    BudgetExceeded,
+    CheckpointError,
+    FaultInjected,
+    ManualClock,
+    NumericalError,
+    ReproError,
+    StageError,
+    ValidatorError,
+    atomic_save_npz,
+    check_finite,
+    load_npz,
+    retry_call,
+    sanitize,
+)
+from repro.runtime import faults
+from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+from repro.timing_model.serialize import load_evaluator, save_evaluator
+
+
+class TestErrorTaxonomy:
+    def test_all_inherit_repro_error(self):
+        for cls in (NumericalError, StageError, ValidatorError, BudgetExceeded, CheckpointError, FaultInjected):
+            assert issubclass(cls, ReproError)
+
+    def test_stage_error_carries_stage_and_cause(self):
+        cause = ValueError("boom")
+        err = StageError("groute", cause)
+        assert err.stage == "groute"
+        assert err.__cause__ is cause
+        assert "groute" in str(err) and "boom" in str(err)
+
+    def test_numerical_error_message(self):
+        err = NumericalError("gradient", "3/10 elements non-finite")
+        assert "gradient" in str(err)
+
+
+class TestBudget:
+    def test_unlimited_never_expires(self):
+        b = Budget()
+        b.spend_probe(10**6)
+        assert not b.expired()
+
+    def test_probe_budget(self):
+        b = Budget(max_probes=3)
+        b.spend_probe(2)
+        assert not b.expired()
+        b.spend_probe()
+        assert b.expired()
+        with pytest.raises(BudgetExceeded):
+            b.check("probes")
+
+    def test_wall_budget_with_manual_clock(self):
+        clock = ManualClock()
+        b = Budget(wall_seconds=10.0, clock=clock.now)
+        clock.advance(9.99)
+        assert not b.expired()
+        assert b.remaining_seconds() == pytest.approx(0.01)
+        clock.advance(0.02)
+        assert b.expired()
+
+    def test_restart_rebases(self):
+        clock = ManualClock()
+        b = Budget(wall_seconds=5.0, max_probes=2, clock=clock.now)
+        clock.advance(100.0)
+        b.spend_probe(2)
+        assert b.expired()
+        b.restart()
+        assert not b.expired()
+        assert b.probes_spent == 0
+
+
+class TestAtomicCheckpoint:
+    def test_roundtrip_arrays_and_scalars(self, tmp_path):
+        path = tmp_path / "state.npz"
+        atomic_save_npz(
+            path,
+            {"x": np.arange(6.0).reshape(2, 3), "t": 7, "loss": 0.25, "flag": True},
+            meta={"kind": "unit-test"},
+        )
+        data = load_npz(path)
+        assert np.array_equal(data["x"], np.arange(6.0).reshape(2, 3))
+        assert data["t"] == 7
+        assert data["loss"] == 0.25
+        assert bool(data["flag"]) is True
+        assert data["meta"] == {"kind": "unit-test"}
+
+    def test_overwrite_is_atomic_no_stray_temps(self, tmp_path):
+        path = tmp_path / "state.npz"
+        atomic_save_npz(path, {"v": 1})
+        atomic_save_npz(path, {"v": 2})
+        assert load_npz(path)["v"] == 2
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "state.npz"
+        atomic_save_npz(path, {"x": np.arange(100.0)})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError):
+            load_npz(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "state.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError):
+            load_npz(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(CheckpointError):
+            load_npz(path)
+
+    def test_required_keys(self, tmp_path):
+        path = tmp_path / "state.npz"
+        atomic_save_npz(path, {"x": 1})
+        with pytest.raises(CheckpointError):
+            load_npz(path, require=("x", "y"))
+
+    def test_reserved_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            atomic_save_npz(tmp_path / "s.npz", {"__repro_ckpt__": 1})
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValidatorError("transient")
+            return "ok"
+
+        assert retry_call(flaky, attempts=3) == "ok"
+        assert calls["n"] == 3
+
+    def test_exhausts_and_reraises(self):
+        def always():
+            raise ValidatorError("down")
+
+        with pytest.raises(ValidatorError):
+            retry_call(always, attempts=2)
+
+    def test_backoff_uses_injected_sleep(self):
+        clock = ManualClock()
+
+        def always():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            retry_call(always, attempts=3, backoff=1.0, sleep=clock.sleep)
+        # Two sleeps: 1.0 then 2.0 (doubling).
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_budget_exceeded_never_retried(self):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            raise BudgetExceeded("wall clock")
+
+        with pytest.raises(BudgetExceeded):
+            retry_call(fn, attempts=5)
+        assert calls["n"] == 1
+
+
+class TestGuards:
+    def test_check_finite_ok(self):
+        assert check_finite(np.ones(3), "x") is True
+
+    def test_check_finite_raises(self):
+        with pytest.raises(NumericalError):
+            check_finite(np.array([1.0, np.nan]), "gradient")
+
+    def test_check_finite_sanitize_reports(self):
+        assert check_finite(np.array([1.0, np.inf]), "x", policy="sanitize") is False
+
+    def test_sanitize_fills(self):
+        out, n_bad = sanitize(np.array([1.0, np.nan, np.inf]), fill=0.5)
+        assert n_bad == 2
+        assert np.array_equal(out, np.array([1.0, 0.5, 0.5]))
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            check_finite(np.ones(2), "x", policy="ignore")
+
+
+class TestFaultHarness:
+    def test_raise_on_kth_call(self):
+        fn = faults.wrap(lambda: 42, faults.FaultSpec(at_call=3))
+        assert fn() == 42
+        assert fn() == 42
+        with pytest.raises(FaultInjected):
+            fn()
+        assert fn() == 42  # one-shot: later calls succeed
+        assert fn.calls == 4
+
+    def test_custom_exception_class(self):
+        fn = faults.wrap(lambda: 1, faults.FaultSpec(at_call=1, exc=TimeoutError))
+        with pytest.raises(TimeoutError):
+            fn()
+
+    def test_repeat_models_hard_down(self):
+        fn = faults.wrap(lambda: 1, faults.FaultSpec(at_call=2, repeat=True))
+        assert fn() == 1
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                fn()
+
+    def test_nan_poisons_structures(self):
+        fn = faults.wrap(
+            lambda: (1.5, [np.ones(2)], {"a": 2.0}),
+            faults.FaultSpec(at_call=1, mode="nan"),
+        )
+        val, lst, dct = fn()
+        assert np.isnan(val)
+        assert np.isnan(lst[0]).all()
+        assert np.isnan(dct["a"])
+
+    def test_nan_leaves_int_arrays_alone(self):
+        fn = faults.wrap(lambda: np.arange(3), faults.FaultSpec(at_call=1, mode="nan"))
+        assert np.array_equal(fn(), np.arange(3))
+
+    def test_stall_consumes_virtual_time(self):
+        clock = ManualClock()
+        fn = faults.wrap(
+            lambda: "done",
+            faults.FaultSpec(at_call=2, mode="stall", stall_seconds=30.0),
+            sleep=clock.sleep,
+        )
+        fn()
+        assert clock.now() == 0.0
+        assert fn() == "done"
+        assert clock.now() == 30.0
+
+    def test_inject_restores_attribute(self):
+        class Service:
+            def ping(self):
+                return "pong"
+
+        svc = Service()
+        with faults.inject(svc, "ping", faults.FaultSpec(at_call=1)) as proxy:
+            with pytest.raises(FaultInjected):
+                svc.ping()
+            assert proxy.calls == 1
+        assert svc.ping() == "pong"
+
+    def test_inject_on_class_attribute(self):
+        class Service:
+            def ping(self):
+                return "pong"
+
+        with faults.inject(Service, "ping", faults.FaultSpec(at_call=1)):
+            with pytest.raises(FaultInjected):
+                Service().ping()
+        assert Service().ping() == "pong"
+
+
+class TestHardenedAdaptiveTheta:
+    def test_nan_initial_gradient_falls_back(self):
+        theta = adaptive_theta(
+            np.ones((3, 2)), lambda x: np.full_like(x, np.nan), fallback=1.25
+        )
+        assert theta == 1.25
+
+    def test_nan_probe_gradient_falls_back(self):
+        calls = {"n": 0}
+
+        def grad(x):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return x.copy()
+            return np.full_like(x, np.nan)
+
+        assert adaptive_theta(np.ones((3, 2)), grad, fallback=2.5) == 2.5
+
+    def test_inf_probe_gradient_falls_back(self):
+        calls = {"n": 0}
+
+        def grad(x):
+            calls["n"] += 1
+            return x.copy() if calls["n"] == 1 else np.full_like(x, np.inf)
+
+        assert adaptive_theta(np.ones((3, 2)), grad, fallback=0.75) == 0.75
+
+    def test_wrong_shape_gradient_falls_back(self):
+        assert adaptive_theta(np.ones((3, 2)), lambda x: np.ones(5), fallback=0.5) == 0.5
+
+    def test_finite_path_unaffected(self):
+        c = 4.0
+        theta = adaptive_theta(np.array([[1.0, 2.0]]), lambda x: c * x, alpha=0.5)
+        assert abs(theta - 1.0 / c) < 1e-9
+
+
+class TestAtomicEvaluatorSerialize:
+    def test_roundtrip(self, tmp_path):
+        model = TimingEvaluator(EvaluatorConfig(hidden=6, seed=9))
+        path = tmp_path / "model.npz"
+        save_evaluator(model, path)
+        loaded = load_evaluator(path)
+        assert loaded.config == model.config
+        for k, v in model.state_dict().items():
+            assert np.array_equal(loaded.state_dict()[k], v)
+
+    def test_corrupt_file_raises_checkpoint_error(self, tmp_path):
+        model = TimingEvaluator(EvaluatorConfig(hidden=6))
+        path = tmp_path / "model.npz"
+        save_evaluator(model, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(CheckpointError):
+            load_evaluator(path)
+
+    def test_foreign_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        atomic_save_npz(path, {"x": 1}, meta={"kind": "something-else"})
+        with pytest.raises(CheckpointError):
+            load_evaluator(path)
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_evaluator(tmp_path / "absent.npz")
