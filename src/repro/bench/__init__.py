@@ -1,0 +1,270 @@
+"""Perf-bench harness for the timing kernels (``python -m repro.bench``).
+
+Measures the three hot paths this repo's refinement loop leans on and
+emits a machine-readable report (``BENCH_timing.json``):
+
+* ``full_sta`` — one sign-off STA pass over a whole design: the
+  reference per-net Python engine vs the flat CSR/batched-Elmore
+  kernel (``STAEngine.run(kernel=...)``).
+* ``incremental`` — repeated sparse-move timing queries (the hybrid
+  validator's workload): move a small fraction of Steiner points, ask
+  for WNS/TNS, repeat.  Compares the reference engine, the full flat
+  kernel, and :class:`~repro.sta.incremental.IncrementalSTA`.
+* ``evaluator`` — the GNN evaluator forward: first call (builds the
+  per-graph static tensors) vs warm calls (cache hit).
+
+Every kernel records a *speedup* ratio (new path vs the PR's "before"
+path) rather than only wall-clock, so the committed baseline stays
+meaningful across machines.  ``compare_reports`` flags any kernel whose
+speedup regressed by more than ``tolerance`` (default 25%) — the
+``bench-smoke`` pytest marker runs exactly that check against the
+committed baseline.
+
+All measurements use ``min`` over repeats (standard practice: the
+minimum is the least noisy estimator of the true cost).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+QUICK_DESIGNS: Tuple[str, ...] = ("usb_cdc_core", "picorv32a")
+FULL_DESIGNS: Tuple[str, ...] = ("usb_cdc_core", "picorv32a", "des3")
+
+#: Fraction of Steiner points moved per incremental query — matches the
+#: sparse proposals the refinement loop actually issues.
+MOVE_FRACTION = 0.02
+
+
+def _best(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``fn`` over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def bench_full_sta(netlist, forest, repeats: int = 3) -> Dict[str, float]:
+    """Whole-design sign-off STA: reference engine vs flat kernel."""
+    from repro.sta.engine import STAEngine
+
+    engine = STAEngine(netlist)
+    # Warm both paths once (library parsing, levelization, flat build).
+    ref_report = engine.run(forest, kernel="reference")
+    flat_report = engine.run(forest, kernel="flat")
+    ref_s = _best(lambda: engine.run(forest, kernel="reference"), repeats)
+    flat_s = _best(lambda: engine.run(forest, kernel="flat"), repeats)
+    return {
+        "reference_ms": ref_s * 1e3,
+        "flat_ms": flat_s * 1e3,
+        "speedup": ref_s / flat_s,
+        "wns_delta": abs(ref_report.wns - flat_report.wns),
+        "tns_delta": abs(ref_report.tns - flat_report.tns),
+    }
+
+
+def bench_incremental(
+    netlist, forest, queries: int = 12, repeats: int = 2, seed: int = 13
+) -> Dict[str, float]:
+    """Repeated sparse-move timing queries (pre-route validator workload).
+
+    Each query moves ``MOVE_FRACTION`` of the Steiner points by a small
+    random offset, writes the coordinates back and asks for a fresh
+    WNS/TNS.  The reported per-query times include the coordinate
+    write-back — that is the cost the refinement loop pays.
+
+    A second measurement (``polish_*``) repeats the experiment moving a
+    *single* Steiner point per query — the workload of the oracle-polish
+    stage and the sparse tail of the proposal schedule, where the dirty
+    cone is one net's fanout and incremental re-timing pays off most.
+    """
+    from repro.sta.engine import STAEngine
+    from repro.sta.incremental import IncrementalSTA
+
+    engine = STAEngine(netlist)
+    base = forest.get_steiner_coords()
+    rng = np.random.default_rng(seed)
+    n = len(base)
+    moves = []
+    for _ in range(queries):
+        c = base.copy()
+        k = max(1, int(n * MOVE_FRACTION))
+        idx = rng.choice(n, size=k, replace=False)
+        c[idx] += rng.normal(0.0, 1.5, size=(k, 2))
+        moves.append(forest.clamp_coords(c))
+
+    polish_moves = []
+    for _ in range(queries):
+        c = base.copy()
+        i = int(rng.integers(n))
+        c[i] += rng.normal(0.0, 1.5, size=2)
+        polish_moves.append(forest.clamp_coords(c))
+
+    def run_queries(query_fn, move_set) -> float:
+        t0 = time.perf_counter()
+        for c in move_set:
+            forest.set_steiner_coords(c)
+            query_fn()
+        return (time.perf_counter() - t0) / len(move_set)
+
+    def ref_query():
+        engine.run(forest, kernel="reference")
+
+    def flat_query():
+        engine.run(forest, kernel="flat")
+
+    inc = IncrementalSTA(netlist, forest, engine=engine)
+
+    def inc_query():
+        inc.run()
+
+    # Warm each path on the base coordinates first.
+    forest.set_steiner_coords(base)
+    engine.run(forest, kernel="reference")
+    engine.run(forest, kernel="flat")
+    inc.run()
+
+    reps = max(1, repeats)
+    ref_s = min(run_queries(ref_query, moves) for _ in range(reps))
+    flat_s = min(run_queries(flat_query, moves) for _ in range(reps))
+    inc_s = min(run_queries(inc_query, moves) for _ in range(reps))
+    flat_polish_s = min(run_queries(flat_query, polish_moves) for _ in range(reps))
+    inc.invalidate()
+    inc.run()  # re-warm after the flat pass left coords at polish_moves[-1]
+    inc_polish_s = min(run_queries(inc_query, polish_moves) for _ in range(reps))
+    forest.set_steiner_coords(base)  # leave the forest as we found it
+    return {
+        "queries": float(queries),
+        "reference_ms_per_query": ref_s * 1e3,
+        "flat_ms_per_query": flat_s * 1e3,
+        "incremental_ms_per_query": inc_s * 1e3,
+        "speedup_vs_reference": ref_s / inc_s,
+        "speedup_vs_flat": flat_s / inc_s,
+        "polish_flat_ms_per_query": flat_polish_s * 1e3,
+        "polish_incremental_ms_per_query": inc_polish_s * 1e3,
+        "polish_speedup_vs_flat": flat_polish_s / inc_polish_s,
+    }
+
+
+def bench_evaluator(netlist, forest, repeats: int = 5) -> Dict[str, float]:
+    """Evaluator forward: cold (static-tensor build) vs warm (cache hit)."""
+    from repro.timing_model.graph import build_timing_graph
+    from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+
+    graph = build_timing_graph(netlist, forest)
+    model = TimingEvaluator(EvaluatorConfig(seed=0))
+    coords = forest.get_steiner_coords()
+
+    def cold():
+        graph._static.clear()
+        model.predict_arrivals(graph, coords)
+
+    model.predict_arrivals(graph, coords)  # warm numpy / allocator
+
+    cold_s = _best(cold, repeats)
+    warm_s = _best(lambda: model.predict_arrivals(graph, coords), repeats)
+    return {
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "speedup": cold_s / warm_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    designs: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: int = 3,
+    queries: int = 12,
+    log: Callable[[str], None] = print,
+) -> Dict:
+    """Run every kernel over ``designs`` and return the report dict."""
+    from repro.flow.pipeline import prepare_design
+
+    if designs is None:
+        designs = QUICK_DESIGNS if quick else FULL_DESIGNS
+    report: Dict = {
+        "version": 1,
+        "quick": quick,
+        "designs": list(designs),
+        "kernels": {"full_sta": {}, "incremental": {}, "evaluator": {}},
+    }
+    for name in designs:
+        log(f"[bench] preparing {name} ...")
+        netlist, forest = prepare_design(name)
+        r = bench_full_sta(netlist, forest, repeats=repeats)
+        report["kernels"]["full_sta"][name] = r
+        log(
+            f"[bench] {name} full_sta: reference {r['reference_ms']:.2f} ms, "
+            f"flat {r['flat_ms']:.2f} ms  ({r['speedup']:.1f}x)"
+        )
+        r = bench_incremental(netlist, forest, queries=queries, repeats=max(1, repeats - 1))
+        report["kernels"]["incremental"][name] = r
+        log(
+            f"[bench] {name} incremental: {r['incremental_ms_per_query']:.2f} ms/query "
+            f"({r['speedup_vs_reference']:.1f}x vs reference, "
+            f"{r['speedup_vs_flat']:.1f}x vs full flat; single-point "
+            f"{r['polish_incremental_ms_per_query']:.2f} ms, "
+            f"{r['polish_speedup_vs_flat']:.1f}x vs flat)"
+        )
+        r = bench_evaluator(netlist, forest, repeats=repeats)
+        report["kernels"]["evaluator"][name] = r
+        log(
+            f"[bench] {name} evaluator: warm {r['warm_ms']:.2f} ms, "
+            f"cold {r['cold_ms']:.2f} ms  ({r['speedup']:.1f}x)"
+        )
+    return report
+
+
+#: Per-kernel speedup fields checked by :func:`compare_reports`.
+_SPEEDUP_FIELDS = {
+    "full_sta": ("speedup",),
+    "incremental": ("speedup_vs_reference",),
+    "evaluator": ("speedup",),
+}
+
+
+def compare_reports(new: Dict, baseline: Dict, tolerance: float = 0.25) -> List[str]:
+    """Regressions of ``new`` vs ``baseline``; empty list means clean.
+
+    A kernel regresses when its speedup falls below
+    ``(1 - tolerance) * baseline_speedup``.  Only (kernel, design,
+    field) triples present in *both* reports are compared, so a quick
+    run can be checked against a committed full baseline.
+    """
+    problems: List[str] = []
+    for kernel, fields in _SPEEDUP_FIELDS.items():
+        new_k = new.get("kernels", {}).get(kernel, {})
+        base_k = baseline.get("kernels", {}).get(kernel, {})
+        for design in sorted(set(new_k) & set(base_k)):
+            for f in fields:
+                if f not in new_k[design] or f not in base_k[design]:
+                    continue
+                got, want = float(new_k[design][f]), float(base_k[design][f])
+                floor = (1.0 - tolerance) * want
+                if got < floor:
+                    problems.append(
+                        f"{kernel}/{design}/{f}: {got:.2f}x < "
+                        f"{floor:.2f}x (baseline {want:.2f}x, tolerance {tolerance:.0%})"
+                    )
+    return problems
+
+
+def load_report(path) -> Dict:
+    return json.loads(Path(path).read_text())
+
+
+def save_report(report: Dict, path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

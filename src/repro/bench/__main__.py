@@ -1,0 +1,86 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Examples
+--------
+Full run, write the committed baseline::
+
+    python -m repro.bench --out BENCH_timing.json
+
+Quick smoke (two small designs) checked against the baseline::
+
+    python -m repro.bench --quick --check BENCH_timing.json
+
+Exit codes: 0 on success, 2 when ``--check`` finds a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    FULL_DESIGNS,
+    QUICK_DESIGNS,
+    compare_reports,
+    load_report,
+    run_benchmarks,
+    save_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the STA / incremental / evaluator timing kernels.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small designs only {QUICK_DESIGNS} (default adds {FULL_DESIGNS[-1]})",
+    )
+    parser.add_argument(
+        "--design",
+        action="append",
+        dest="designs",
+        metavar="NAME",
+        help="benchmark only NAME (repeatable; overrides --quick's design set)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats per kernel")
+    parser.add_argument(
+        "--queries", type=int, default=12, help="moves per incremental-query benchmark"
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report to PATH")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare speedups against a committed baseline report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression for --check (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(
+        designs=args.designs,
+        quick=args.quick,
+        repeats=args.repeats,
+        queries=args.queries,
+    )
+    if args.out:
+        save_report(report, args.out)
+        print(f"[bench] report written to {args.out}")
+    if args.check:
+        problems = compare_reports(report, load_report(args.check), tolerance=args.tolerance)
+        if problems:
+            for p in problems:
+                print(f"[bench] REGRESSION {p}", file=sys.stderr)
+            return 2
+        print(f"[bench] no regressions vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

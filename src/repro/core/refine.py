@@ -187,8 +187,29 @@ class _Oracle:
         wns, tns, _ = hard_metrics(arrival, self.endpoints, self.required)
         return wns, tns
 
+    def invalidate(self) -> None:
+        """Drop cached static evaluator tensors bound to ``self.graph``."""
+        static = getattr(self.graph, "_static", None)
+        if static is not None:
+            static.clear()
+
 
 Validator = Callable[[np.ndarray], Tuple[float, float]]
+
+
+def _reset_validator(validator: Optional[Validator]) -> None:
+    """Drop any incremental state a stateful validator carries.
+
+    Incremental-STA-backed validators (see ``TSteiner._make_validator``)
+    expose a ``reset`` attribute; after a checkpoint restore or a
+    validated revert the cached timing state may describe coordinates
+    the trajectory has abandoned, so it must be rebuilt from scratch on
+    the next probe.  Plain function validators have no such attribute
+    and are left alone.
+    """
+    reset = getattr(validator, "reset", None)
+    if callable(reset):
+        reset()
 
 
 _REFINE_CKPT_KIND = "refine-v1"
@@ -349,6 +370,11 @@ def refine(
             so._m = np.array(ckpt["so_m"], dtype=np.float64, copy=True)
             so._v = np.array(ckpt["so_v"], dtype=np.float64, copy=True)
             so._t = int(ckpt["so_t"])
+        # A resumed run may hand us a live oracle/validator from the
+        # interrupted attempt whose caches describe coordinates the
+        # restored trajectory never visited — drop them.
+        oracle.invalidate()
+        _reset_validator(validator)
     elif use_validator:
         anchor = call_validator(coords)
         validations += 1
@@ -430,6 +456,9 @@ def refine(
             validated_reverts += 1
             coords = real_coords.copy()
             best_coords = real_coords.copy()
+            # The validator's incremental state now describes the
+            # rejected candidate; force a clean rebuild at the anchor.
+            _reset_validator(validator)
             # Reset the predicted-metric baseline to the anchor, else
             # the inflated rejected prediction blocks all future accepts.
             best_wns, best_tns = oracle.evaluate(coords)

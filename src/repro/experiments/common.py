@@ -30,6 +30,7 @@ from repro.netlist.netlist import Netlist
 from repro.runtime import Budget, CheckpointError
 from repro.steiner.forest import SteinerForest
 from repro.timing_model.dataset import DesignSample
+from repro.timing_model.graph import TimingGraph, build_timing_graph
 from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
 from repro.timing_model.serialize import load_evaluator, save_evaluator
 from repro.timing_model.train import TrainerConfig, train_evaluator
@@ -129,6 +130,7 @@ class ExperimentContext:
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self.budget = budget
         self._designs: Dict[str, Tuple[Netlist, SteinerForest]] = {}
+        self._graphs: Dict[str, TimingGraph] = {}
         self._baselines: Dict[str, FlowResult] = {}
         self._optimized: Dict[str, FlowResult] = {}
         self._samples: Optional[List[DesignSample]] = None
@@ -139,6 +141,21 @@ class ExperimentContext:
         if name not in self._designs:
             self._designs[name] = prepare_design(name, scale=self.config.scale)
         return self._designs[name]
+
+    def timing_graph(self, name: str) -> TimingGraph:
+        """Memoized evaluator graph for ``name``.
+
+        Graph construction walks every RC tree and levelizes the whole
+        design; the structure depends only on the prepared design (and
+        hence on the config's scale and seed), so the experiment suite
+        builds it once per context and hands it to every optimized flow
+        run via :func:`run_routing_flow`'s ``timing_graph`` parameter.
+        Congestion is refreshed inside TSteiner per run.
+        """
+        if name not in self._graphs:
+            netlist, forest = self.design(name)
+            self._graphs[name] = build_timing_graph(netlist, forest)
+        return self._graphs[name]
 
     def baseline(self, name: str) -> FlowResult:
         if name not in self._baselines:
@@ -157,6 +174,7 @@ class ExperimentContext:
                 budget=self.budget,
                 checkpoint_dir=self.checkpoint_dir,
                 resume=self.checkpoint_dir is not None,
+                timing_graph=self.timing_graph(name),
             )
         return self._optimized[name]
 

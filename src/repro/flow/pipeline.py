@@ -95,11 +95,17 @@ def run_routing_flow(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     strict: bool = False,
+    timing_graph=None,
 ) -> FlowResult:
     """Route and sign off one design; optionally run TSteiner first.
 
     The input ``forest`` is not mutated — the flow operates on a copy,
     so a single prepared design can feed both arms of Table II.
+
+    ``timing_graph`` optionally hands TSteiner a prebuilt
+    :class:`~repro.timing_model.graph.TimingGraph` for this design
+    (see :meth:`TSteiner.optimize`); the experiment suite memoizes it
+    per (design, seed) so repeated optimized runs skip the rebuild.
 
     Every stage runs guarded (docs/RESILIENCE.md): a failing stage is
     recorded in ``FlowResult.stage_errors`` and the flow continues with
@@ -132,7 +138,12 @@ def run_routing_flow(
                 else None
             )
             refinement = optimizer.optimize(
-                netlist, work, budget=budget, checkpoint_path=ckpt, resume=resume
+                netlist,
+                work,
+                budget=budget,
+                checkpoint_path=ckpt,
+                resume=resume,
+                graph=timing_graph,
             )
             timed_out = timed_out or refinement.timed_out
         except Exception as exc:

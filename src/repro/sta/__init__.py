@@ -18,6 +18,7 @@ Two operating points:
 """
 
 from repro.sta.engine import STAEngine, TimingReport
+from repro.sta.incremental import IncrementalSTA
 from repro.sta.rctree import NetTiming, compute_net_timing
 from repro.sta.metrics import timing_metrics
 from repro.sta.paths import TimingPath, extract_critical_paths, trace_path
@@ -26,6 +27,7 @@ from repro.sta.hold import HoldReport, run_hold_analysis
 __all__ = [
     "STAEngine",
     "TimingReport",
+    "IncrementalSTA",
     "NetTiming",
     "compute_net_timing",
     "timing_metrics",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.groute.router import GlobalRouteResult
 from repro.netlist.netlist import Netlist, PinDirection
+from repro.sta import flat as flatmod
 from repro.sta.rctree import compute_net_timing
 from repro.steiner.forest import SteinerForest
 
@@ -47,6 +48,299 @@ class TimingReport:
 
     def worst_endpoint(self) -> int:
         return min(self.slack, key=self.slack.get)
+
+
+@dataclass
+class PertLevel:
+    """Arcs whose destination pins sit at one PERT level.
+
+    Cell arcs are grouped contiguously per destination pin (CSR via
+    ``cell_start``), arcs within a destination in library order — the
+    order the reference scalar loop uses for its strict-``>`` max, so
+    first-occurrence winner selection reproduces its tie-breaking.
+    """
+
+    net_src: np.ndarray  # (n_net_arcs,) driver pin
+    net_dst: np.ndarray  # (n_net_arcs,) sink pin
+    net_net: np.ndarray  # (n_net_arcs,) net index
+    cell_in: np.ndarray  # (n_cell_arcs,) input pin per arc
+    cell_dest: np.ndarray  # (n_dests,) output pin per destination
+    cell_start: np.ndarray  # (n_dests+1,) CSR into arc arrays
+    cell_counts: np.ndarray  # (n_dests,) arcs per destination
+    cell_dest_net: np.ndarray  # (n_dests,) driven net (-1 if none)
+    arc_groups: List[Tuple[object, np.ndarray]]  # (TimingArc, arc rows)
+    arc_group_id: np.ndarray  # (n_cell_arcs,) index into arc_groups
+
+
+class LevelizedPins:
+    """Static per-netlist PERT structure shared by the flat kernel and
+    the incremental engine: arc arrays grouped by destination level."""
+
+    def __init__(self, engine: "STAEngine") -> None:
+        netlist = engine.netlist
+        n_pins = netlist.num_pins
+        self.n_pins = n_pins
+        self.n_nets = netlist.num_nets
+        self.pin_caps: Dict[int, float] = {
+            p.index: p.cap
+            for p in netlist.pins
+            if p.direction == PinDirection.INPUT
+        }
+        # Treeless nets: lumped sum of sink pin caps (static), summed in
+        # sink order to match the reference accumulation exactly.
+        lumped = np.zeros(self.n_nets, dtype=np.float64)
+        for net in netlist.nets:
+            total = 0.0
+            for s in net.sinks:
+                total += self.pin_caps.get(s, 0.0)
+            lumped[net.index] = total
+        self.lumped_net_cap = lumped
+
+        skip = set(engine._clock_pins)
+        for p in netlist.pins:
+            if p.is_port and p.direction == PinDirection.OUTPUT:
+                skip.add(p.index)
+
+        net_arcs: List[Tuple[int, int, int]] = []
+        for net in netlist.nets:
+            for s in net.sinks:
+                if s not in skip:
+                    net_arcs.append((net.driver, s, net.index))
+        pnm = netlist.pin_net_map()
+        cell_dests: List[Tuple[int, list, int]] = []
+        for out_pin in sorted(engine._cell_arcs):
+            arcs = engine._cell_arcs[out_pin]
+            if out_pin in skip or not arcs:
+                continue
+            cell_dests.append((out_pin, arcs, int(pnm[out_pin])))
+
+        # Longest-path level per pin: every arc crosses at least one
+        # level boundary, so processing level-by-level is dependency-safe.
+        level = np.zeros(n_pins, dtype=np.int64)
+        succ: List[List[int]] = [[] for _ in range(n_pins)]
+        for u, v, _ in net_arcs:
+            succ[u].append(v)
+        for out_pin, arcs, _ in cell_dests:
+            for in_pin, _arc in arcs:
+                succ[in_pin].append(out_pin)
+        for u in engine._topo:
+            lu = int(level[u])
+            for v in succ[u]:
+                if level[v] <= lu:
+                    level[v] = lu + 1
+
+        net_src = np.array([a[0] for a in net_arcs], dtype=np.int64)
+        net_dst = np.array([a[1] for a in net_arcs], dtype=np.int64)
+        net_net = np.array([a[2] for a in net_arcs], dtype=np.int64)
+        net_lvl = level[net_dst] if net_dst.size else net_dst
+        dest_lvl = {out: int(level[out]) for out, _, _ in cell_dests}
+        max_lvl = 0
+        if net_dst.size:
+            max_lvl = int(net_lvl.max())
+        if dest_lvl:
+            max_lvl = max(max_lvl, max(dest_lvl.values()))
+
+        self.levels: List[PertLevel] = []
+        for L in range(1, max_lvl + 1):
+            if net_dst.size:
+                m = net_lvl == L
+                l_src, l_dst, l_net = net_src[m], net_dst[m], net_net[m]
+            else:
+                l_src = l_dst = l_net = np.zeros(0, dtype=np.int64)
+            c_in: List[int] = []
+            c_dest: List[int] = []
+            c_counts: List[int] = []
+            c_net: List[int] = []
+            groups: Dict[int, Tuple[object, List[int]]] = {}
+            for out_pin, arcs, net_idx in cell_dests:
+                if dest_lvl[out_pin] != L:
+                    continue
+                c_dest.append(out_pin)
+                c_counts.append(len(arcs))
+                c_net.append(net_idx)
+                for in_pin, arc in arcs:
+                    pos = len(c_in)
+                    c_in.append(in_pin)
+                    entry = groups.setdefault(id(arc), (arc, []))
+                    entry[1].append(pos)
+            counts = np.array(c_counts, dtype=np.int64)
+            start = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=start[1:])
+            arc_groups = [
+                (arc, np.array(pos, dtype=np.int64))
+                for arc, pos in groups.values()
+            ]
+            group_id = np.zeros(len(c_in), dtype=np.int64)
+            for g, (_arc, pos) in enumerate(arc_groups):
+                group_id[pos] = g
+            self.levels.append(
+                PertLevel(
+                    net_src=l_src,
+                    net_dst=l_dst,
+                    net_net=l_net,
+                    cell_in=np.array(c_in, dtype=np.int64),
+                    cell_dest=np.array(c_dest, dtype=np.int64),
+                    cell_start=start,
+                    cell_counts=counts,
+                    cell_dest_net=np.array(c_net, dtype=np.int64),
+                    arc_groups=arc_groups,
+                    arc_group_id=group_id,
+                )
+            )
+
+        self.endpoints_arr = np.array(engine._endpoints, dtype=np.int64)
+        self.required_arr = np.array(
+            [engine._required[ep] for ep in engine._endpoints], dtype=np.float64
+        )
+        # NLDM tables generated from one grid share their axis arrays;
+        # when every table in the design does, interpolation indices and
+        # weights can be computed once per level instead of per table.
+        self.shared_axes: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        axes = None
+        shared = True
+        for lv in self.levels:
+            for arc, _pos in lv.arc_groups:
+                for tbl in (arc.delay, arc.output_slew):
+                    key = (tbl.slew_axis, tbl.load_axis)
+                    if axes is None:
+                        axes = key
+                    elif not (
+                        np.array_equal(axes[0], key[0])
+                        and np.array_equal(axes[1], key[1])
+                    ):
+                        shared = False
+                if not shared:
+                    break
+            if not shared:
+                break
+        if shared and axes is not None:
+            self.shared_axes = axes
+        # Sinks of every net (used by the incremental engine to seed
+        # recomputation when a net's wire timing changes).
+        self.net_driver = np.array(
+            [net.driver for net in netlist.nets], dtype=np.int64
+        )
+
+
+def propagate_levels(
+    pert: LevelizedPins,
+    arrival: np.ndarray,
+    slew: np.ndarray,
+    wire_delay: np.ndarray,
+    wire_slew_deg: np.ndarray,
+    net_load: np.ndarray,
+    net_has_tree: np.ndarray,
+) -> None:
+    """One full vectorized PERT pass over all levels (in place)."""
+    for lv in pert.levels:
+        if lv.net_dst.size:
+            a_drv = arrival[lv.net_src]
+            ok = ~np.isnan(a_drv)
+            dst = lv.net_dst[ok]
+            arrival[dst] = a_drv[ok] + wire_delay[dst]
+            s_drv = slew[lv.net_src[ok]]
+            has_t = net_has_tree[lv.net_net[ok]]
+            slew[dst] = np.where(
+                has_t, np.sqrt(s_drv * s_drv + wire_slew_deg[dst]), s_drv
+            )
+        if lv.cell_dest.size:
+            best, winner_slew, valid = _eval_cell_arcs(
+                pert, lv, arrival, slew, net_load,
+                lv.cell_dest_net, lv.cell_start, lv.cell_counts, None,
+            )
+            dsts = lv.cell_dest[valid]
+            arrival[dsts] = best[valid]
+            slew[dsts] = winner_slew[valid]
+
+
+def _eval_cell_arcs(
+    pert: LevelizedPins,
+    lv: PertLevel,
+    arrival: np.ndarray,
+    slew: np.ndarray,
+    net_load: np.ndarray,
+    dest_net: np.ndarray,
+    start: np.ndarray,
+    counts: np.ndarray,
+    arc_rows: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Max-arrival/winner-slew per destination over NLDM cell arcs.
+
+    ``arc_rows`` restricts evaluation to a subset of the level's arc
+    rows (incremental path); ``start``/``counts`` must then be the CSR
+    of that subset.  Returns (best_arrival, winner_slew, valid_mask)
+    aligned with the destinations described by ``start``.
+    """
+    if arc_rows is None:
+        cell_in = lv.cell_in
+        n_arc = cell_in.size
+        group_iter = lv.arc_groups
+    else:
+        cell_in = lv.cell_in[arc_rows]
+        n_arc = arc_rows.size
+        # Group the selected rows by timing arc without touching any
+        # level-sized scratch array (the incremental path selects few).
+        gids = lv.arc_group_id[arc_rows]
+        group_iter = []
+        if gids.size:
+            order = np.argsort(gids, kind="stable")
+            sg = gids[order]
+            bnd = np.flatnonzero(sg[1:] != sg[:-1]) + 1
+            g_starts = np.concatenate((np.zeros(1, dtype=np.int64), bnd))
+            g_ends = np.append(bnd, sg.size)
+            group_iter = [
+                (lv.arc_groups[int(sg[s])][0], order[s:e])
+                for s, e in zip(g_starts, g_ends)
+            ]
+    a_in = arrival[cell_in]
+    s_in = slew[cell_in]
+    safe_net = np.maximum(dest_net, 0)
+    load_dest = np.where(dest_net >= 0, net_load[safe_net], 0.0)
+    load_arc = np.repeat(load_dest, counts)
+    delays = np.empty(n_arc, dtype=np.float64)
+    oslews = np.empty(n_arc, dtype=np.float64)
+    if pert.shared_axes is not None:
+        # Same math as LookupTable.lookup_many (clamped bilinear, same
+        # operation order term for term) with the axis work hoisted out
+        # of the per-table loop.
+        sa, la = pert.shared_axes
+        s = np.minimum(np.maximum(s_in, sa[0]), sa[-1])
+        c = np.minimum(np.maximum(load_arc, la[0]), la[-1])
+        i = np.minimum(np.maximum(np.searchsorted(sa, s) - 1, 0), sa.size - 2)
+        j = np.minimum(np.maximum(np.searchsorted(la, c) - 1, 0), la.size - 2)
+        s0, s1 = sa[i], sa[i + 1]
+        c0, c1 = la[j], la[j + 1]
+        ts = (s - s0) / (s1 - s0)
+        tc = (c - c0) / (c1 - c0)
+        omts = 1 - ts
+        omtc = 1 - tc
+        for arc, pos in group_iter:
+            ip, jp = i[pos], j[pos]
+            tsp, tcp = ts[pos], tc[pos]
+            omtsp, omtcp = omts[pos], omtc[pos]
+            for tbl, out in ((arc.delay, delays), (arc.output_slew, oslews)):
+                v = tbl.values
+                out[pos] = (
+                    v[ip, jp] * omtsp * omtcp
+                    + v[ip + 1, jp] * tsp * omtcp
+                    + v[ip, jp + 1] * omtsp * tcp
+                    + v[ip + 1, jp + 1] * tsp * tcp
+                )
+    else:
+        for arc, pos in group_iter:
+            delays[pos] = arc.delay.lookup_many(s_in[pos], load_arc[pos])
+            oslews[pos] = arc.output_slew.lookup_many(s_in[pos], load_arc[pos])
+    cand = np.where(np.isnan(a_in), -np.inf, a_in + delays)
+    seg_starts = start[:-1]
+    best = np.maximum.reduceat(cand, seg_starts)
+    # First arc achieving the max wins ties (reference uses strict >).
+    row_ids = np.arange(n_arc, dtype=np.int64)
+    masked = np.where(cand == np.repeat(best, counts), row_ids, n_arc)
+    first = np.minimum.reduceat(masked, seg_starts)
+    valid = best > -np.inf
+    winner_slew = np.full(best.size, DEFAULT_INPUT_SLEW, dtype=np.float64)
+    winner_slew[valid] = oslews[first[valid]]
+    return best, winner_slew, valid
 
 
 class STAEngine:
@@ -91,23 +385,131 @@ class STAEngine:
                     )
         for port in netlist.primary_outputs():
             self._required[port.index] = self.clock.required_at_output()
+        self._pert_struct: Optional[LevelizedPins] = None
 
     # ------------------------------------------------------------------
     #: coupling-capacitance coefficient: c_eff = c * (1 + K * utilization)
     COUPLING_K = 0.8
+
+    #: kernel used when ``run`` is called without an explicit choice:
+    #: "flat" (vectorized, default) or "reference" (scalar loops).
+    default_kernel = "flat"
+
+    def pert(self) -> LevelizedPins:
+        """Levelized arc structure (built lazily, once per netlist)."""
+        if self._pert_struct is None:
+            self._pert_struct = LevelizedPins(self)
+        return self._pert_struct
 
     def run(
         self,
         forest: SteinerForest,
         route_result: Optional[GlobalRouteResult] = None,
         utilization: Optional[np.ndarray] = None,
+        kernel: Optional[str] = None,
     ) -> TimingReport:
         """Time the design under the given Steiner forest / routes.
 
         ``utilization`` is the post-route GCell congestion field; when
         provided, wire capacitance picks up a coupling term that grows
         with local density (see ``repro.sta.rctree._coupling_factor``).
+        ``kernel`` selects the implementation: ``"flat"`` runs the
+        vectorized batched kernels (docs/PERFORMANCE.md), ``"reference"``
+        the original per-net/per-pin scalar loops; both agree to within
+        float re-association noise (see tests/test_flat_sta.py).
         """
+        k = kernel or self.default_kernel
+        if k == "flat":
+            return self._run_flat(forest, route_result, utilization)
+        if k == "reference":
+            return self._run_reference(forest, route_result, utilization)
+        raise ValueError(f"unknown STA kernel {k!r}")
+
+    # -- vectorized path ------------------------------------------------
+    def _run_flat(
+        self,
+        forest: SteinerForest,
+        route_result: Optional[GlobalRouteResult],
+        utilization: Optional[np.ndarray],
+    ) -> TimingReport:
+        pert = self.pert()
+        flat = flatmod.flat_forest_of(forest, pert.pin_caps)
+        xy = flatmod.node_positions(flat, forest.get_steiner_coords())
+        if route_result is not None:
+            edge_r, edge_c = flatmod.routed_edge_rc(
+                flat, self.technology, xy, route_result,
+                utilization, self.COUPLING_K,
+            )
+        else:
+            edge_r, edge_c = flatmod.preroute_edge_rc(flat, self.technology, xy)
+        elmore = flatmod.elmore_forest(flat, edge_r, edge_c)
+
+        n_pins = pert.n_pins
+        wire_delay = np.zeros(n_pins)
+        wire_deg = np.zeros(n_pins)
+        wire_delay[flat.sink_pin] = elmore.sink_delay
+        wire_deg[flat.sink_pin] = elmore.sink_slew_deg
+        net_load = pert.lumped_net_cap.copy()
+        net_load[flat.net_of_tree] = elmore.total_cap
+        net_has_tree = np.zeros(pert.n_nets, dtype=bool)
+        net_has_tree[flat.net_of_tree] = True
+
+        arrival, slew = self.launch_arrays()
+        propagate_levels(
+            pert, arrival, slew, wire_delay, wire_deg, net_load, net_has_tree
+        )
+        return self.finalize_report(arrival, slew, net_load)
+
+    def launch_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fresh (arrival, slew) arrays with launch values applied."""
+        n_pins = self.netlist.num_pins
+        arrival = np.full(n_pins, np.nan)
+        slew = np.full(n_pins, DEFAULT_INPUT_SLEW)
+        launch = self.clock.launch_time()
+        for port in self.netlist.primary_inputs():
+            arrival[port.index] = launch + self.clock.input_delay
+        for ck_pin in self._clock_pins:
+            arrival[ck_pin] = launch
+        return arrival, slew
+
+    def finalize_report(
+        self,
+        arrival: np.ndarray,
+        slew: np.ndarray,
+        net_load: np.ndarray,
+        copy_arrays: bool = False,
+    ) -> TimingReport:
+        """Endpoint slacks / WNS / TNS from propagated arrays."""
+        pert = self.pert()
+        launch = self.clock.launch_time()
+        arr_ep = arrival[pert.endpoints_arr]
+        nan_ep = np.isnan(arr_ep)
+        svals = np.where(nan_ep, pert.required_arr - launch, pert.required_arr - arr_ep)
+        slack = {
+            int(ep): float(s) for ep, s in zip(pert.endpoints_arr, svals)
+        }
+        wns = float(svals.min()) if svals.size else 0.0
+        neg = np.minimum(svals, 0.0)
+        tns = float(neg.sum()) if svals.size else 0.0
+        num_vios = int(np.count_nonzero(svals < 0.0))
+        return TimingReport(
+            arrival=arrival.copy() if copy_arrays else arrival,
+            slew=slew.copy() if copy_arrays else slew,
+            required=dict(self._required),
+            slack=slack,
+            wns=wns,
+            tns=tns,
+            num_violations=num_vios,
+            net_load={i: float(v) for i, v in enumerate(net_load)},
+        )
+
+    # -- reference scalar path -----------------------------------------
+    def _run_reference(
+        self,
+        forest: SteinerForest,
+        route_result: Optional[GlobalRouteResult] = None,
+        utilization: Optional[np.ndarray] = None,
+    ) -> TimingReport:
         netlist = self.netlist
         n_pins = netlist.num_pins
         arrival = np.full(n_pins, np.nan)

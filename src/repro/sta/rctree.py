@@ -64,7 +64,7 @@ def _coupling_factor(
 
 
 def _edge_rc(
-    tree: SteinerTree,
+    xy: np.ndarray,
     tree_idx: int,
     edge_idx: int,
     u: int,
@@ -76,13 +76,12 @@ def _edge_rc(
     utilization: Optional[np.ndarray] = None,
     coupling_k: float = 0.0,
 ) -> Tuple[float, float]:
-    """Resistance/capacitance of one tree edge."""
+    """Resistance/capacitance of one tree edge at node positions ``xy``."""
     if route_result is not None:
         seg = route_result.segments.get((tree_idx, edge_idx))
         if seg is not None:
             r, c = segment_rc(seg, technology)
             return r, c * _coupling_factor(seg.path, utilization, coupling_k)
-    xy = tree.node_xy()
     dx = abs(float(xy[u][0] - xy[v][0]))
     dy = abs(float(xy[u][1] - xy[v][1]))
     r_h, c_h = technology.wire_rc(default_h_layer, dx)
@@ -112,29 +111,31 @@ def compute_net_timing(
         total = sum(sink_pin_caps.values())
         return NetTiming(tree.net_index, total, {p: 0.0 for p in tree.pin_ids[1:]}, {p: 0.0 for p in tree.pin_ids[1:]})
 
-    # Map undirected edge -> index for routed-segment lookup.
-    edge_index = {frozenset(e): i for i, e in enumerate(tree.edges)}
-    directed = tree.directed_edges()  # (parent, child), driver-rooted
+    # Memoized driver-rooted topology: directed edges already carry
+    # their undirected edge index (routed-segment lookup key), and the
+    # parent array replaces the per-call (parent, child) -> slot dict.
+    topo = tree.topology()
+    directed = topo.directed_list  # (parent, child), driver-rooted
+    dir_edge_local = topo.dir_edge_local
+    parent_of_node = topo.parent
+    xy = tree.node_xy()
 
     # Node capacitance: half of each incident wire cap + sink pin cap.
     node_cap = np.zeros(n, dtype=np.float64)
     edge_r = np.zeros(len(directed), dtype=np.float64)
-    child_of = np.zeros(len(directed), dtype=np.int64)
-    parent_of_node = np.full(n, -1, dtype=np.int64)
-    edge_to_child: Dict[int, int] = {}
+    # Edge slot (row in `directed`) keyed by child node.
+    slot_of_child = np.full(n, -1, dtype=np.int64)
 
     for k, (p, c) in enumerate(directed):
-        e_idx = edge_index[frozenset((p, c))]
+        e_idx = int(dir_edge_local[k])
         r, cap = _edge_rc(
-            tree, tree_idx, e_idx, p, c, technology, route_result,
+            xy, tree_idx, e_idx, p, c, technology, route_result,
             default_h_layer, default_v_layer, utilization, coupling_k,
         )
         edge_r[k] = r
         node_cap[p] += cap * 0.5
         node_cap[c] += cap * 0.5
-        child_of[k] = c
-        parent_of_node[c] = p
-        edge_to_child[k] = c
+        slot_of_child[c] = k
 
     for node_pos, pin_id in enumerate(tree.pin_ids):
         if node_pos == 0:
@@ -142,22 +143,20 @@ def compute_net_timing(
         node_cap[node_pos] += sink_pin_caps.get(pin_id, 0.0)
 
     # Subtree capacitance via reverse BFS order (children before parents).
-    order = _bfs_order(tree)
+    order = topo.bfs_order
     subtree_cap = node_cap.copy()
-    for node in reversed(order):
+    for node in order[::-1]:
         p = parent_of_node[node]
         if p >= 0:
             subtree_cap[p] += subtree_cap[node]
 
     # Elmore delay: accumulate R * C_sub along root-to-node paths.
-    slot_of = {(p, c): k for k, (p, c) in enumerate(directed)}
     delay = np.zeros(n, dtype=np.float64)
     for node in order:
         p = parent_of_node[node]
         if p < 0:
             continue
-        k = slot_of[(int(p), int(node))]
-        delay[node] = delay[p] + edge_r[k] * subtree_cap[node]
+        delay[node] = delay[p] + edge_r[slot_of_child[node]] * subtree_cap[node]
 
     sink_delay: Dict[int, float] = {}
     sink_slew: Dict[int, float] = {}
@@ -178,18 +177,6 @@ def compute_net_timing(
 
 def _bfs_order(tree: SteinerTree) -> List[int]:
     """Nodes in BFS order from the driver (parents precede children)."""
-    adj = tree.adjacency()
-    order = [0]
-    seen = [False] * tree.n_nodes
-    seen[0] = True
-    head = 0
-    while head < len(order):
-        u = order[head]
-        head += 1
-        for v in adj[u]:
-            if not seen[v]:
-                seen[v] = True
-                order.append(v)
-    return order
+    return tree.topology().bfs_order.tolist()
 
 

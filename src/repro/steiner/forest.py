@@ -56,9 +56,15 @@ class SteinerForest:
     # ------------------------------------------------------------------
     def get_steiner_coords(self) -> np.ndarray:
         """(S, 2) concatenated Steiner coordinates (copy)."""
-        if self.num_steiner_points == 0:
-            return np.zeros((0, 2))
-        return np.vstack([t.steiner_xy for t in self.trees if t.n_steiner > 0])
+        out = np.empty((int(self._offsets[-1]), 2), dtype=np.float64)
+        pos = 0
+        for tree in self.trees:
+            a = tree.steiner_xy
+            k = a.shape[0]
+            if k:
+                out[pos : pos + k] = a
+                pos += k
+        return out
 
     def set_steiner_coords(self, coords: np.ndarray) -> None:
         """Write a flat (S, 2) coordinate matrix back into the trees."""
@@ -67,9 +73,12 @@ class SteinerForest:
             raise ValueError(
                 f"expected {self.num_steiner_points} Steiner points, got {coords.shape[0]}"
             )
-        for i, tree in enumerate(self.trees):
-            if tree.n_steiner:
-                tree.steiner_xy = coords[self.steiner_slice(i)].copy()
+        pos = 0
+        for tree in self.trees:
+            k = tree.steiner_xy.shape[0]
+            if k:
+                tree.steiner_xy = coords[pos : pos + k].copy()
+                pos += k
 
     def clamp_coords(self, coords: np.ndarray) -> np.ndarray:
         """Clamp a flat coordinate matrix to the routing-grid boundary."""

@@ -14,9 +14,26 @@ route.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+@dataclass
+class TreeTopology:
+    """Driver-rooted integer-array view of one tree's topology.
+
+    Memoized on the tree (topology never changes during refinement,
+    only coordinates — Definition 1 of the paper) so repeated timing
+    queries pay the BFS / edge-index construction exactly once.
+    """
+
+    parent: np.ndarray  # (n_nodes,) parent node, -1 at the driver
+    bfs_order: np.ndarray  # (n_reached,) BFS order from the driver
+    depth: np.ndarray  # (n_nodes,) BFS depth from the driver
+    directed: np.ndarray  # (n_edges, 2) (parent, child), child ascending
+    dir_edge_local: np.ndarray  # (n_edges,) undirected edge index per row
+    directed_list: List[Tuple[int, int]]  # directed as python tuples
 
 
 @dataclass
@@ -28,12 +45,16 @@ class SteinerTree:
     pin_xy: np.ndarray  # (n_pins, 2) fixed coordinates
     steiner_xy: np.ndarray  # (n_steiner, 2) movable coordinates
     edges: List[Tuple[int, int]] = field(default_factory=list)
+    _topo: Optional[TreeTopology] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.pin_xy = np.asarray(self.pin_xy, dtype=np.float64).reshape(-1, 2)
         self.steiner_xy = np.asarray(self.steiner_xy, dtype=np.float64).reshape(-1, 2)
         if len(self.pin_ids) != self.pin_xy.shape[0]:
             raise ValueError("pin_ids and pin_xy disagree")
+        self._topo = None
 
     # ------------------------------------------------------------------
     @property
@@ -70,6 +91,60 @@ class SteinerTree:
         return float(self.edge_lengths().sum())
 
     # ------------------------------------------------------------------
+    def topology(self) -> TreeTopology:
+        """Driver-rooted topology arrays, memoized until edges change.
+
+        Any method that rewrites ``edges`` must call
+        :meth:`invalidate_topology`; moving coordinates does not.
+        """
+        topo = self._topo
+        if topo is not None:
+            return topo
+        n = self.n_nodes
+        adj = self.adjacency()
+        parent = np.full(n, -1, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        order = [0]
+        seen = [False] * n
+        seen[0] = True
+        head = 0
+        while head < len(order):
+            u = order[head]
+            head += 1
+            for v in adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    parent[v] = u
+                    depth[v] = depth[u] + 1
+                    order.append(v)
+        slot: dict = {}
+        for i, (u, v) in enumerate(self.edges):
+            slot[(u, v)] = i
+            slot[(v, u)] = i
+        children = np.flatnonzero(parent >= 0)
+        if children.size:
+            directed = np.stack([parent[children], children], axis=1)
+        else:
+            directed = np.zeros((0, 2), dtype=np.int64)
+        directed_list = [(int(p), int(c)) for p, c in directed]
+        dir_local = np.asarray(
+            [slot[pc] for pc in directed_list], dtype=np.int64
+        )
+        topo = TreeTopology(
+            parent=parent,
+            bfs_order=np.asarray(order, dtype=np.int64),
+            depth=depth,
+            directed=directed,
+            dir_edge_local=dir_local,
+            directed_list=directed_list,
+        )
+        self._topo = topo
+        return topo
+
+    def invalidate_topology(self) -> None:
+        """Drop memoized topology after an edge rewrite."""
+        self._topo = None
+
     def adjacency(self) -> List[List[int]]:
         adj: List[List[int]] = [[] for _ in range(self.n_nodes)]
         for u, v in self.edges:
@@ -116,24 +191,11 @@ class SteinerTree:
         return paths
 
     def _parents_from_driver(self) -> List[int]:
-        parent = [-1] * self.n_nodes
-        adj = self.adjacency()
-        stack = [0]
-        visited = [False] * self.n_nodes
-        visited[0] = True
-        while stack:
-            u = stack.pop()
-            for v in adj[u]:
-                if not visited[v]:
-                    visited[v] = True
-                    parent[v] = u
-                    stack.append(v)
-        return parent
+        return self.topology().parent.tolist()
 
     def directed_edges(self) -> List[Tuple[int, int]]:
         """Edges oriented away from the driver (parent -> child)."""
-        parent = self._parents_from_driver()
-        return [(parent[v], v) for v in range(self.n_nodes) if parent[v] >= 0]
+        return self.topology().directed_list
 
     def segments(self) -> Iterator[Tuple[Tuple[float, float], Tuple[float, float]]]:
         """Yield ((x1, y1), (x2, y2)) per edge at current positions."""
@@ -177,6 +239,7 @@ class SteinerTree:
                 self._remove_steiner_node(node, a, b)
                 changed = True
                 break
+        self.invalidate_topology()
 
     def prune_leaf_steiner(self) -> None:
         """Remove Steiner nodes of degree <= 1 (never useful in a tree)."""
@@ -191,6 +254,7 @@ class SteinerTree:
                     self.steiner_xy = np.delete(self.steiner_xy, local, axis=0)
                     remap = lambda u: u - 1 if u > node else u
                     self.edges = [(remap(u), remap(v)) for u, v in self.edges]
+                    self.invalidate_topology()
                     changed = True
                     break
 
@@ -202,3 +266,4 @@ class SteinerTree:
         self.steiner_xy = np.delete(self.steiner_xy, local, axis=0)
         remap = lambda u: u - 1 if u > node else u
         self.edges = [(remap(u), remap(v)) for u, v in new_edges]
+        self.invalidate_topology()

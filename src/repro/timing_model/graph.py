@@ -90,6 +90,9 @@ class TimingGraph:
     # ---- congestion field (routing-stage feature, see Table IV note) ----
     congestion: Optional[np.ndarray] = None  # (nx, ny) GCell utilization
     gcell_size: float = 0.0
+    # Scratch cache for evaluator-static tensors (one-hot node types,
+    # per-level masks, ...) keyed by the consumer; never compared.
+    _static: Dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_steiner(self) -> int:
@@ -163,10 +166,12 @@ def build_timing_graph(
     # ------------------------------------------------------------------
     net_arc_index: Dict[Tuple[int, int], int] = {}
     arc_net: List[int] = []
+    arc_sink: List[int] = []
     for net in netlist.nets:
         for s in net.sinks:
             net_arc_index[(net.index, s)] = len(net_arc_index)
             arc_net.append(net.index)
+            arc_sink.append(s)
     n_net_arcs = len(net_arc_index)
 
     path_src: List[int] = []
@@ -176,24 +181,14 @@ def build_timing_graph(
     for t_idx, tree in enumerate(forest.trees):
         base = int(tree_offsets[t_idx])
         # Downstream sink-pin capacitance per node (subtree sums).
-        parent = tree._parents_from_driver()
+        topo = tree.topology()
+        parent = topo.parent
         sub_cap = np.zeros(tree.n_nodes)
         for local, pin_id in enumerate(tree.pin_ids):
             if local > 0:
                 sub_cap[local] = pin_caps.get(pin_id, 0.0)
-        # Accumulate leaves-to-root (children have higher BFS order).
-        bfs = [0]
-        seen = {0}
-        adj = tree.adjacency()
-        head = 0
-        while head < len(bfs):
-            u = bfs[head]
-            head += 1
-            for v in adj[u]:
-                if v not in seen:
-                    seen.add(v)
-                    bfs.append(v)
-        for node in reversed(bfs):
+        # Accumulate leaves-to-root (parents precede children in BFS).
+        for node in topo.bfs_order[::-1]:
             p = parent[node]
             if p >= 0:
                 sub_cap[p] += sub_cap[node]
@@ -213,10 +208,19 @@ def build_timing_graph(
     # Per-net static features
     # ------------------------------------------------------------------
     n_nets = netlist.num_nets
-    sink_cap_sum = np.zeros(n_nets, dtype=np.float64)
+    # np.bincount accumulates in input (= sink) order, so this matches
+    # the per-net sequential sum bit for bit.
+    pin_cap_arr = np.array([p.cap for p in netlist.pins], dtype=np.float64)
+    if arc_net:
+        sink_cap_sum = np.bincount(
+            np.asarray(arc_net, dtype=np.int64),
+            weights=pin_cap_arr[np.asarray(arc_sink, dtype=np.int64)],
+            minlength=n_nets,
+        )
+    else:
+        sink_cap_sum = np.zeros(n_nets, dtype=np.float64)
     drive_res = np.zeros(n_nets, dtype=np.float64)
     for net in netlist.nets:
-        sink_cap_sum[net.index] = sum(pin_caps.get(s, 0.0) for s in net.sinks)
         driver = netlist.pins[net.driver]
         if driver.is_cell_pin:
             drive_res[net.index] = netlist.cells[driver.cell_index].cell_type.drive_res

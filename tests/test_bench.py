@@ -1,0 +1,70 @@
+"""Perf-bench harness tests.
+
+``bench_smoke`` runs the quick benchmark in-process and fails when any
+kernel's speedup regressed more than 25% against the committed
+``BENCH_timing.json`` — the same check as
+``python -m repro.bench --quick --check BENCH_timing.json``.
+Deselect with ``-m 'not bench_smoke'`` when timing noise is unwanted
+(e.g. under heavy parallel CI load).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import compare_reports, load_report, run_benchmarks
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_timing.json"
+
+
+class TestCompareReports:
+    def _report(self, speedup):
+        return {
+            "kernels": {
+                "full_sta": {"des3": {"speedup": speedup}},
+                "incremental": {"des3": {"speedup_vs_reference": speedup}},
+                "evaluator": {"des3": {"speedup": speedup}},
+            }
+        }
+
+    def test_clean_when_equal(self):
+        base = self._report(10.0)
+        assert compare_reports(self._report(10.0), base) == []
+
+    def test_small_dip_within_tolerance(self):
+        base = self._report(10.0)
+        assert compare_reports(self._report(7.6), base, tolerance=0.25) == []
+
+    def test_regression_flagged(self):
+        base = self._report(10.0)
+        problems = compare_reports(self._report(7.4), base, tolerance=0.25)
+        assert len(problems) == 3
+        assert any("full_sta/des3" in p for p in problems)
+
+    def test_disjoint_designs_ignored(self):
+        new = {"kernels": {"full_sta": {"spm": {"speedup": 1.0}}}}
+        base = self._report(10.0)
+        assert compare_reports(new, base) == []
+
+    def test_improvement_never_flags(self):
+        base = self._report(10.0)
+        assert compare_reports(self._report(25.0), base) == []
+
+
+def test_baseline_report_is_committed():
+    """The regression gate needs its baseline in the repo."""
+    assert BASELINE.exists(), "BENCH_timing.json missing — run python -m repro.bench --out BENCH_timing.json"
+    report = load_report(BASELINE)
+    kernels = report["kernels"]
+    # Acceptance criteria of the perf PR, recorded on des3:
+    assert kernels["full_sta"]["des3"]["speedup"] >= 3.0
+    assert kernels["incremental"]["des3"]["speedup_vs_reference"] >= 5.0
+
+
+@pytest.mark.bench_smoke
+def test_quick_bench_has_no_regressions():
+    """In-process ``--quick`` run checked against the committed baseline."""
+    report = run_benchmarks(quick=True, repeats=2, queries=8, log=lambda m: None)
+    problems = compare_reports(report, load_report(BASELINE), tolerance=0.25)
+    assert problems == [], "\n".join(problems)
