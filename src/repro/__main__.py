@@ -7,9 +7,16 @@ Usage::
     python -m repro table2 --profile full
     python -m repro table2 --timeout 600 --checkpoint-dir ckpt
     python -m repro table2 --resume   # continue a killed run
+    python -m repro table2 --trace run.jsonl --verbose
+    python -m repro report run.jsonl  # summarize a telemetry trace
 
 Profiles: quick (default, four designs), full (ten designs at half
 scale), paper (the complete reproduction — slow).
+
+Observability (docs/OBSERVABILITY.md): ``--trace PATH`` records a
+structured telemetry trace (spans, refinement iterations, metric
+counters) as JSONL; ``python -m repro report PATH`` renders it.
+``--verbose``/``--quiet`` move the console log level.
 
 Resilience (docs/RESILIENCE.md): ``--timeout`` installs a wall-clock
 budget shared by training, refinement and routing — artifacts come
@@ -22,11 +29,13 @@ structured error taxonomy and the process exits nonzero.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import traceback
 
 from repro.experiments import ablation, fig2, fig5, table1, table2, table3, table4
 from repro.experiments.common import ExperimentConfig, set_runtime_defaults
+from repro.obs import Telemetry, setup_logging, telemetry_session
 from repro.runtime import Budget, ReproError, StageError
 
 _ARTIFACTS = {
@@ -58,14 +67,22 @@ def _describe_failure(name: str, exc: BaseException) -> str:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        # The report subcommand has its own argument surface (trace
+        # paths, not profiles); dispatch before the artifact parser.
+        from repro.obs.report import main as report_main
+
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate TSteiner paper artifacts (tables and figures).",
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_ARTIFACTS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(_ARTIFACTS) + ["all", "report"],
+        help="which artifact to regenerate, or `report <trace.jsonl>` "
+        "to summarize a telemetry trace",
     )
     parser.add_argument(
         "--profile",
@@ -94,7 +111,33 @@ def main(argv=None) -> int:
         help="continue from snapshots in --checkpoint-dir "
         f"(default: {_DEFAULT_CHECKPOINT_DIR})",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a telemetry trace (JSONL) to PATH; summarize it "
+        "later with `python -m repro report PATH`",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more console logging (repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less console logging",
+    )
     args = parser.parse_args(argv)
+    if args.artifact == "report":
+        # Reached only when options precede the subcommand; the plain
+        # form (`python -m repro report ...`) dispatches above.
+        parser.error("usage: python -m repro report <trace.jsonl> [...]")
+    setup_logging(args.verbose - args.quiet)
     config = _PROFILES[args.profile]()
 
     checkpoint_dir = args.checkpoint_dir
@@ -105,16 +148,22 @@ def main(argv=None) -> int:
 
     names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     failures = 0
-    for name in names:
-        run, fmt = _ARTIFACTS[name]
-        print(f"=== {name} ({args.profile} profile) ===")
-        try:
-            print(fmt(run(config)))
-        except Exception as exc:
-            failures += 1
-            print(_describe_failure(name, exc), file=sys.stderr)
-            traceback.print_exc()
-        print()
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            tel = stack.enter_context(Telemetry(path=args.trace))
+            stack.enter_context(telemetry_session(tel))
+        for name in names:
+            run, fmt = _ARTIFACTS[name]
+            print(f"=== {name} ({args.profile} profile) ===")
+            try:
+                print(fmt(run(config)))
+            except Exception as exc:
+                failures += 1
+                print(_describe_failure(name, exc), file=sys.stderr)
+                traceback.print_exc()
+            print()
+    if args.trace:
+        print(f"telemetry trace written to {args.trace}")
     return 1 if failures else 0
 
 

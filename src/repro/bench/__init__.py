@@ -27,11 +27,16 @@ minimum is the least noisy estimator of the true cost).
 from __future__ import annotations
 
 import json
+import logging
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs import get_telemetry
+
+_log = logging.getLogger("repro.bench")
 
 QUICK_DESIGNS: Tuple[str, ...] = ("usb_cdc_core", "picorv32a")
 FULL_DESIGNS: Tuple[str, ...] = ("usb_cdc_core", "picorv32a", "des3")
@@ -188,11 +193,20 @@ def run_benchmarks(
     quick: bool = False,
     repeats: int = 3,
     queries: int = 12,
-    log: Callable[[str], None] = print,
+    log: Optional[Callable[[str], None]] = None,
+    telemetry=None,
 ) -> Dict:
-    """Run every kernel over ``designs`` and return the report dict."""
+    """Run every kernel over ``designs`` and return the report dict.
+
+    Progress goes through ``log`` when given, the ``repro.bench``
+    logger otherwise; ``telemetry`` (default: the process global)
+    records one annotated span per (design, kernel) pair.
+    """
     from repro.flow.pipeline import prepare_design
 
+    if log is None:
+        log = _log.info
+    tel = telemetry if telemetry is not None else get_telemetry()
     if designs is None:
         designs = QUICK_DESIGNS if quick else FULL_DESIGNS
     report: Dict = {
@@ -203,14 +217,27 @@ def run_benchmarks(
     }
     for name in designs:
         log(f"[bench] preparing {name} ...")
-        netlist, forest = prepare_design(name)
-        r = bench_full_sta(netlist, forest, repeats=repeats)
+        with tel.span("bench.prepare", design=name):
+            netlist, forest = prepare_design(name)
+        with tel.span("bench.full_sta", design=name) as sp:
+            r = bench_full_sta(netlist, forest, repeats=repeats)
+            sp.annotate(
+                reference_ms=r["reference_ms"], flat_ms=r["flat_ms"], speedup=r["speedup"]
+            )
         report["kernels"]["full_sta"][name] = r
         log(
             f"[bench] {name} full_sta: reference {r['reference_ms']:.2f} ms, "
             f"flat {r['flat_ms']:.2f} ms  ({r['speedup']:.1f}x)"
         )
-        r = bench_incremental(netlist, forest, queries=queries, repeats=max(1, repeats - 1))
+        with tel.span("bench.incremental", design=name) as sp:
+            r = bench_incremental(
+                netlist, forest, queries=queries, repeats=max(1, repeats - 1)
+            )
+            sp.annotate(
+                incremental_ms_per_query=r["incremental_ms_per_query"],
+                speedup_vs_reference=r["speedup_vs_reference"],
+                speedup_vs_flat=r["speedup_vs_flat"],
+            )
         report["kernels"]["incremental"][name] = r
         log(
             f"[bench] {name} incremental: {r['incremental_ms_per_query']:.2f} ms/query "
@@ -219,7 +246,9 @@ def run_benchmarks(
             f"{r['polish_incremental_ms_per_query']:.2f} ms, "
             f"{r['polish_speedup_vs_flat']:.1f}x vs flat)"
         )
-        r = bench_evaluator(netlist, forest, repeats=repeats)
+        with tel.span("bench.evaluator", design=name) as sp:
+            r = bench_evaluator(netlist, forest, repeats=repeats)
+            sp.annotate(cold_ms=r["cold_ms"], warm_ms=r["warm_ms"], speedup=r["speedup"])
         report["kernels"]["evaluator"][name] = r
         log(
             f"[bench] {name} evaluator: warm {r['warm_ms']:.2f} ms, "
@@ -256,8 +285,9 @@ def compare_reports(new: Dict, baseline: Dict, tolerance: float = 0.25) -> List[
                 floor = (1.0 - tolerance) * want
                 if got < floor:
                     problems.append(
-                        f"{kernel}/{design}/{f}: {got:.2f}x < "
-                        f"{floor:.2f}x (baseline {want:.2f}x, tolerance {tolerance:.0%})"
+                        f"metric {kernel}/{design}/{f}: measured {got:.2f}x "
+                        f"below threshold {floor:.2f}x "
+                        f"(baseline {want:.2f}x, tolerance {tolerance:.0%})"
                     )
     return problems
 

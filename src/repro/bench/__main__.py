@@ -16,6 +16,7 @@ Exit codes: 0 on success, 2 when ``--check`` finds a regression.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.bench import (
@@ -26,6 +27,7 @@ from repro.bench import (
     run_benchmarks,
     save_report,
 )
+from repro.obs import Telemetry, setup_logging, telemetry_session
 
 
 def main(argv=None) -> int:
@@ -61,14 +63,33 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed fractional speedup regression for --check (default 0.25)",
     )
-    args = parser.parse_args(argv)
-
-    report = run_benchmarks(
-        designs=args.designs,
-        quick=args.quick,
-        repeats=args.repeats,
-        queries=args.queries,
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a telemetry trace (JSONL) to PATH; see `python -m repro report`",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, help="more console logging"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0, help="less console logging"
+    )
+    args = parser.parse_args(argv)
+    setup_logging(args.verbose - args.quiet)
+
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            tel = stack.enter_context(Telemetry(path=args.trace))
+            stack.enter_context(telemetry_session(tel))
+        report = run_benchmarks(
+            designs=args.designs,
+            quick=args.quick,
+            repeats=args.repeats,
+            queries=args.queries,
+            log=print,
+        )
+    if args.trace:
+        print(f"[bench] trace written to {args.trace}")
     if args.out:
         save_report(report, args.out)
         print(f"[bench] report written to {args.out}")

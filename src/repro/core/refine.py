@@ -31,6 +31,7 @@ from repro.autodiff.optim import AccumulatingSO, PaperSO
 from repro.autodiff.tensor import Tensor
 from repro.core.adaptive import adaptive_theta
 from repro.core.penalty import PenaltyConfig, hard_metrics, smoothed_penalty
+from repro.obs import SCHEMA_VERSION, get_telemetry
 from repro.runtime import (
     Budget,
     BudgetExceeded,
@@ -166,21 +167,28 @@ class RefinementResult:
 class _Oracle:
     """Caches the evaluator forward/backward machinery for one design."""
 
-    def __init__(self, model: TimingEvaluator, graph: TimingGraph) -> None:
+    def __init__(self, model: TimingEvaluator, graph: TimingGraph, telemetry=None) -> None:
         self.model = model
         self.graph = graph
         self.endpoints = graph.endpoints
         self.required = graph.required
+        self.telemetry = telemetry
 
-    def gradient(self, coords: np.ndarray, pcfg: PenaltyConfig) -> Tuple[np.ndarray, float, float]:
-        """(dP/dcoords, evaluated WNS, evaluated TNS) at ``coords``."""
+    def _tel(self):
+        return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    def gradient(
+        self, coords: np.ndarray, pcfg: PenaltyConfig
+    ) -> Tuple[np.ndarray, float, float, float]:
+        """(dP/dcoords, evaluated WNS, evaluated TNS, penalty) at ``coords``."""
         t_coords = Tensor(coords, requires_grad=True)
         out = self.model(self.graph, t_coords)
         penalty, _, _ = smoothed_penalty(out["arrival"], self.endpoints, self.required, pcfg)
         penalty.backward()
+        self._tel().count("evaluator.backward")
         grad = t_coords.grad if t_coords.grad is not None else np.zeros_like(coords)
         wns, tns, _ = hard_metrics(out["arrival"].numpy(), self.endpoints, self.required)
-        return np.asarray(grad, dtype=np.float64), wns, tns
+        return np.asarray(grad, dtype=np.float64), wns, tns, float(penalty.item())
 
     def evaluate(self, coords: np.ndarray) -> Tuple[float, float]:
         arrival = self.model.predict_arrivals(self.graph, coords)
@@ -226,6 +234,7 @@ def refine(
     checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    telemetry=None,
 ) -> RefinementResult:
     """Run Algorithm 1; returns the best coordinates found.
 
@@ -239,9 +248,16 @@ def refine(
     snapshots the full loop state atomically every ``checkpoint_every``
     iterations, and ``resume=True`` continues from such a snapshot
     with byte-identical results to an uninterrupted run.
+
+    Observability (docs/OBSERVABILITY.md): ``telemetry`` records one
+    ``refine_iter`` event per iteration (WNS/TNS, smoothed penalty,
+    stepsize, penalty weights, accept/revert, probe and checkpoint
+    counts) bracketed by ``refine_start``/``refine_end``; defaults to
+    the process-global telemetry (NULL — observation-free).
     """
     from repro.steiner.forest import SteinerForest
 
+    tel = telemetry if telemetry is not None else get_telemetry()
     cfg = config or RefinementConfig()
     policy = validate_policy(cfg.nonfinite_policy)
     coords = np.asarray(initial_coords, dtype=np.float64).reshape(-1, 2).copy()
@@ -251,7 +267,7 @@ def refine(
             f"{graph.num_steiner} Steiner nodes"
         )
     clamp = clamp_fn or (lambda c: c)
-    oracle = _Oracle(model, graph)
+    oracle = _Oracle(model, graph, telemetry=tel)
     use_validator = cfg.acceptance == "hybrid" and validator is not None
     degraded = False
     skipped_steps = 0
@@ -264,6 +280,7 @@ def refine(
     def call_validator(c: np.ndarray) -> Optional[Tuple[float, float]]:
         """Probe the real flow with retry; ``None`` == degrade, don't crash."""
         nonlocal degraded, use_validator
+        tel.count("refine.validator_probes")
         if budget is not None:
             budget.spend_probe()
 
@@ -282,9 +299,10 @@ def refine(
             )
         except BudgetExceeded:
             raise
-        except Exception:
+        except Exception as exc:
             degraded = True
             use_validator = False
+            tel.event("validator_degraded", error=f"{type(exc).__name__}: {exc}")
             return None
 
     pcfg = cfg.penalty
@@ -300,6 +318,15 @@ def refine(
                 f"checkpoint coords shape {np.asarray(ckpt['coords']).shape} does "
                 f"not match design shape {coords.shape}"
             )
+        # Stitch this trace onto the interrupted run's trajectory: the
+        # snapshot carries the run-id of the telemetry that wrote it.
+        tel.event(
+            "checkpoint_resume",
+            what="refine",
+            parent_run=meta.get("telemetry_run"),
+            parent_schema=meta.get("telemetry_schema"),
+            iteration=int(ckpt["t"]),
+        )
 
     if ckpt is None:
         # Lines 1-2: initial evaluated metrics.
@@ -333,6 +360,7 @@ def refine(
     history: List[Tuple[float, float]] = []
     accepted = 0
     t = 0
+    checkpoint_saves = 0
 
     # Hybrid-mode real anchors.
     validations = 0
@@ -381,7 +409,20 @@ def refine(
         if anchor is not None:
             real_wns, real_tns = anchor
 
+    if tel.enabled:
+        tel.event(
+            "refine_start",
+            init_wns=init_wns,
+            init_tns=init_tns,
+            theta0=theta,
+            points=int(coords.shape[0]),
+            max_iterations=cfg.max_iterations,
+            acceptance=cfg.acceptance,
+            resumed=ckpt is not None,
+        )
+
     def save_checkpoint() -> None:
+        nonlocal checkpoint_saves
         arrays = {
             "coords": coords,
             "best_coords": best_coords,
@@ -413,7 +454,17 @@ def refine(
             arrays["so_m"] = so._m
             arrays["so_v"] = so._v
             arrays["so_t"] = so._t
-        atomic_save_npz(checkpoint_path, arrays, meta={"kind": _REFINE_CKPT_KIND})
+        atomic_save_npz(
+            checkpoint_path,
+            arrays,
+            meta={
+                "kind": _REFINE_CKPT_KIND,
+                "telemetry_run": tel.run_id,
+                "telemetry_schema": SCHEMA_VERSION,
+            },
+        )
+        checkpoint_saves += 1
+        tel.count("refine.checkpoint_saves")
 
     def validate_candidate() -> None:
         """Probe the real flow; keep or revert to the last real anchor.
@@ -479,10 +530,14 @@ def refine(
         # Cooperative budget check: wind down with the best-so-far.
         if budget is not None and budget.expired():
             timed_out = True
+            tel.event("budget_expired", where="refine", iteration=t)
             break
 
         # Line 7: concurrent update of all Steiner points.
-        grad, _, _ = oracle.gradient(coords, pcfg)
+        lam_w, lam_t = pcfg.lambda_wns, pcfg.lambda_tns
+        grad, _, _, penalty_value = oracle.gradient(coords, pcfg)
+        step_accepted = False
+        step_skipped = False
         candidate = None
         if check_finite(grad, "refinement gradient", policy):
             candidate = so.update(coords, grad)
@@ -504,6 +559,7 @@ def refine(
             # Poisoned step under the sanitize policy: skip it, shrink
             # theta so the next proposal differs, keep the run alive.
             skipped_steps += 1
+            step_skipped = True
             so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
             history.append((best_wns, best_tns))
         else:
@@ -511,6 +567,7 @@ def refine(
             wns, tns = oracle.evaluate(candidate)
             if not check_finite((wns, tns), "evaluated metrics", policy):
                 skipped_steps += 1
+                step_skipped = True
                 so.theta = max(so.theta * cfg.backtrack, cfg.min_theta)
                 history.append((best_wns, best_tns))
             else:
@@ -523,6 +580,7 @@ def refine(
                     coords = candidate
                     best_coords = candidate.copy()
                     accepted += 1
+                    step_accepted = True
                     pending_accepts += 1
                     so.theta = min(so.theta * cfg.expand_on_accept, theta)
                     if use_validator and pending_accepts >= cfg.validate_every:
@@ -538,6 +596,26 @@ def refine(
 
         if checkpoint_path is not None and t % max(1, checkpoint_every) == 0:
             save_checkpoint()
+
+        if tel.enabled:
+            it_wns, it_tns = history[-1]
+            tel.event(
+                "refine_iter",
+                i=t - 1,
+                wns=it_wns,
+                tns=it_tns,
+                best_wns=best_wns,
+                best_tns=best_tns,
+                penalty=penalty_value,
+                theta=so.theta,
+                lambda_w=lam_w,
+                lambda_t=lam_t,
+                accepted=step_accepted,
+                skipped=step_skipped,
+                validations=validations,
+                validated_reverts=validated_reverts,
+                checkpoint_saves=checkpoint_saves,
+            )
 
     if use_validator:
         if pending_accepts and not timed_out:
@@ -567,6 +645,23 @@ def refine(
             # hybrid-mode contract (routable snapped geometry) holds.
             best_coords = SteinerForest.round_array(best_coords)
 
+    if tel.enabled:
+        tel.event(
+            "refine_end",
+            init_wns=init_wns,
+            init_tns=init_tns,
+            best_wns=best_wns,
+            best_tns=best_tns,
+            iterations=t,
+            accepted=accepted,
+            validations=validations,
+            validated_reverts=validated_reverts,
+            skipped_steps=skipped_steps,
+            checkpoint_saves=checkpoint_saves,
+            timed_out=timed_out,
+            degraded=degraded,
+            resumed=ckpt is not None,
+        )
     return RefinementResult(
         coords=best_coords,
         init_wns=init_wns,
@@ -632,7 +727,7 @@ def _polish(
     probes = 0
     timed_out = False
 
-    grad, _, _ = oracle.gradient(best, pcfg)
+    grad, _, _, _ = oracle.gradient(best, pcfg)
     order = np.argsort(-np.abs(grad).sum(axis=1))[: cfg.polish_top_k]
     cursor = 0
     step_idx = 0
@@ -661,7 +756,7 @@ def _polish(
         if score(rw, rt) > score(best_wns, best_tns):
             best = candidate
             best_wns, best_tns = rw, rt
-            grad, _, _ = oracle.gradient(best, pcfg)
+            grad, _, _, _ = oracle.gradient(best, pcfg)
             order = np.argsort(-np.abs(grad).sum(axis=1))[: cfg.polish_top_k]
             cursor = 0
     return best, best_wns, best_tns, probes, timed_out

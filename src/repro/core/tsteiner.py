@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.core.refine import RefinementConfig, RefinementResult, refine
 from repro.netlist.netlist import Netlist
+from repro.obs import get_telemetry
 from repro.steiner.forest import SteinerForest
 from repro.timing_model.graph import build_timing_graph
 from repro.timing_model.model import TimingEvaluator
@@ -45,6 +46,7 @@ class TSteiner:
         checkpoint_path=None,
         resume: bool = False,
         graph=None,
+        telemetry=None,
     ) -> RefinementResult:
         """Refine ``forest`` in place; returns the refinement record.
 
@@ -61,9 +63,13 @@ class TSteiner:
         the evaluator still sees this run's routing pressure.
 
         ``budget``/``checkpoint_path``/``resume`` are forwarded to
-        :func:`repro.core.refine.refine` (see docs/RESILIENCE.md).
+        :func:`repro.core.refine.refine` (see docs/RESILIENCE.md), and
+        ``telemetry`` likewise (docs/OBSERVABILITY.md; defaults to the
+        process-global telemetry).
         """
-        congestion = self._congestion_probe(netlist, forest)
+        tel = telemetry if telemetry is not None else get_telemetry()
+        with tel.span("tsteiner.congestion_probe", design=netlist.name):
+            congestion = self._congestion_probe(netlist, forest)
         if graph is not None:
             if graph.num_steiner != forest.num_steiner_points:
                 raise ValueError(
@@ -72,18 +78,27 @@ class TSteiner:
                 )
             graph.congestion = congestion
         else:
-            graph = build_timing_graph(netlist, forest, congestion=congestion)
-        result = refine(
-            self.model,
-            graph,
-            forest.get_steiner_coords(),
-            config=self.config,
-            clamp_fn=forest.clamp_coords,
-            validator=self._make_validator(netlist, forest),
-            budget=budget,
-            checkpoint_path=checkpoint_path,
-            resume=resume,
-        )
+            with tel.span("tsteiner.build_graph", design=netlist.name):
+                graph = build_timing_graph(netlist, forest, congestion=congestion)
+        with tel.span("tsteiner.refine", design=netlist.name) as sp:
+            result = refine(
+                self.model,
+                graph,
+                forest.get_steiner_coords(),
+                config=self.config,
+                clamp_fn=forest.clamp_coords,
+                validator=self._make_validator(netlist, forest),
+                budget=budget,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+                telemetry=tel,
+            )
+            sp.annotate(
+                iterations=result.iterations,
+                accepted=result.accepted,
+                best_wns=result.best_wns,
+                best_tns=result.best_tns,
+            )
         import numpy as np
 
         initial = forest.get_steiner_coords()

@@ -284,3 +284,19 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def cli_entry(run_fn, format_fn) -> int:
+    """Shared ``python -m repro.experiments.<name>`` entry point.
+
+    Configures console logging (so instrumented stages report through
+    the ``repro`` logger instead of bare prints) and writes the
+    formatted artifact to stdout.
+    """
+    import sys
+
+    from repro.obs import setup_logging
+
+    setup_logging()
+    sys.stdout.write(format_fn(run_fn()) + "\n")
+    return 0

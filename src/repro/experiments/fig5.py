@@ -80,4 +80,6 @@ def format_result(result: Fig5Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.common import cli_entry
+
+    raise SystemExit(cli_entry(run, format_result))

@@ -89,4 +89,6 @@ def format_result(result: Table4Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.common import cli_entry
+
+    raise SystemExit(cli_entry(run, format_result))

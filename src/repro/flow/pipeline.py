@@ -24,6 +24,7 @@ from repro.groute.layer_assign import assign_layers
 from repro.groute.router import GlobalRouteResult, GlobalRouter, RouterConfig
 from repro.netlist.benchmarks import BENCHMARKS, build_benchmark
 from repro.netlist.netlist import Netlist
+from repro.obs import get_telemetry
 from repro.placement.placer import PlacementConfig, place
 from repro.routegrid.grid import GCellGrid
 from repro.sta.engine import STAEngine, TimingReport
@@ -96,6 +97,7 @@ def run_routing_flow(
     resume: bool = False,
     strict: bool = False,
     timing_graph=None,
+    telemetry=None,
 ) -> FlowResult:
     """Route and sign off one design; optionally run TSteiner first.
 
@@ -116,7 +118,10 @@ def run_routing_flow(
     ``budget`` is shared across refinement, global routing, detailed
     routing; stages past an expired budget degrade rather than hang.
     ``checkpoint_dir``/``resume`` enable refinement snapshots.
+    ``telemetry`` records per-stage spans and ``stage_error`` events
+    (docs/OBSERVABILITY.md); defaults to the process global.
     """
+    tel = telemetry if telemetry is not None else get_telemetry()
     work = forest.copy()
     runtimes: Dict[str, float] = {}
     refinement: Optional[RefinementResult] = None
@@ -124,54 +129,66 @@ def run_routing_flow(
     timed_out = False
 
     def guard(stage: str, exc: Exception) -> None:
+        if tel.enabled:
+            tel.event(
+                "stage_error",
+                stage=stage,
+                design=netlist.name,
+                error=f"{type(exc).__name__}: {exc}",
+                strict=strict,
+            )
         if strict:
             raise StageError(stage, exc)
         stage_errors[stage] = f"{type(exc).__name__}: {exc}"
 
     if model is not None:
         t0 = time.perf_counter()
-        try:
-            optimizer = TSteiner(model, refinement_config)
-            ckpt = (
-                Path(checkpoint_dir) / f"refine-{netlist.name}.npz"
-                if checkpoint_dir is not None
-                else None
-            )
-            refinement = optimizer.optimize(
-                netlist,
-                work,
-                budget=budget,
-                checkpoint_path=ckpt,
-                resume=resume,
-                graph=timing_graph,
-            )
-            timed_out = timed_out or refinement.timed_out
-        except Exception as exc:
-            # Degrade to the baseline arm: route the unrefined forest.
-            guard("tsteiner", exc)
+        with tel.span("flow.tsteiner", design=netlist.name):
+            try:
+                optimizer = TSteiner(model, refinement_config)
+                ckpt = (
+                    Path(checkpoint_dir) / f"refine-{netlist.name}.npz"
+                    if checkpoint_dir is not None
+                    else None
+                )
+                refinement = optimizer.optimize(
+                    netlist,
+                    work,
+                    budget=budget,
+                    checkpoint_path=ckpt,
+                    resume=resume,
+                    graph=timing_graph,
+                    telemetry=tel,
+                )
+                timed_out = timed_out or refinement.timed_out
+            except Exception as exc:
+                # Degrade to the baseline arm: route the unrefined forest.
+                guard("tsteiner", exc)
         runtimes["tsteiner"] = time.perf_counter() - t0
 
     route_result: Optional[GlobalRouteResult] = None
     grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
     t0 = time.perf_counter()
-    try:
-        router = GlobalRouter(grid, router_config)
-        route_result = router.route(work, budget=budget)
-        assign_layers(route_result, netlist.technology, grid.nx * grid.ny)
-        timed_out = timed_out or route_result.timed_out
-    except Exception as exc:
-        guard("groute", exc)
+    with tel.span("flow.groute", design=netlist.name):
+        try:
+            router = GlobalRouter(grid, router_config)
+            route_result = router.route(work, budget=budget)
+            assign_layers(route_result, netlist.technology, grid.nx * grid.ny)
+            timed_out = timed_out or route_result.timed_out
+        except Exception as exc:
+            guard("groute", exc)
     runtimes["groute"] = time.perf_counter() - t0
 
     detail = None
     if route_result is not None:
         t0 = time.perf_counter()
-        try:
-            droute = DetailedRouter(grid, droute_config)
-            detail = droute.route(work, route_result, budget=budget)
-            timed_out = timed_out or detail.timed_out
-        except Exception as exc:
-            guard("droute", exc)
+        with tel.span("flow.droute", design=netlist.name):
+            try:
+                droute = DetailedRouter(grid, droute_config)
+                detail = droute.route(work, route_result, budget=budget)
+                timed_out = timed_out or detail.timed_out
+            except Exception as exc:
+                guard("droute", exc)
         runtimes["droute"] = time.perf_counter() - t0
     else:
         stage_errors.setdefault("droute", "skipped: global routing failed")
@@ -179,11 +196,12 @@ def run_routing_flow(
     report = None
     if route_result is not None:
         t0 = time.perf_counter()
-        try:
-            engine = engine or STAEngine(netlist)
-            report = engine.run(work, route_result, utilization=grid.utilization_map())
-        except Exception as exc:
-            guard("sta", exc)
+        with tel.span("flow.sta", design=netlist.name):
+            try:
+                engine = engine or STAEngine(netlist)
+                report = engine.run(work, route_result, utilization=grid.utilization_map())
+            except Exception as exc:
+                guard("sta", exc)
         runtimes["sta"] = time.perf_counter() - t0
     else:
         stage_errors.setdefault("sta", "skipped: global routing failed")

@@ -1,0 +1,52 @@
+"""Telemetry subsystem: spans, metrics, refinement traces, run reports.
+
+Zero-dependency observability layer (docs/OBSERVABILITY.md):
+
+* :class:`Telemetry` — hierarchical spans, counters/gauges/histograms
+  and structured events, exported as versioned JSONL;
+* :class:`NullTelemetry` / :data:`NULL_TELEMETRY` — the allocation-free
+  default that keeps hot paths untouched when tracing is off;
+* :func:`get_telemetry` / :func:`set_telemetry` /
+  :func:`telemetry_session` — the process-global handle used by
+  instrumentation points without a threaded parameter (cache counters,
+  budget expiry, fault injection);
+* :mod:`repro.obs.logbridge` — stdlib ``logging`` bridged into trace
+  events plus the CLI console handler;
+* :mod:`repro.obs.report` — ``python -m repro report <trace.jsonl>``.
+"""
+
+from repro.obs.logbridge import (
+    ROOT_LOGGER,
+    TelemetryLogHandler,
+    bridge_logging,
+    setup_logging,
+    unbridge_logging,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    SCHEMA_VERSION,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    active_run_id,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "SCHEMA_VERSION",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "TelemetryLogHandler",
+    "ROOT_LOGGER",
+    "active_run_id",
+    "bridge_logging",
+    "get_telemetry",
+    "set_telemetry",
+    "setup_logging",
+    "telemetry_session",
+    "unbridge_logging",
+]

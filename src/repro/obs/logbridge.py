@@ -1,0 +1,93 @@
+"""Stdlib ``logging`` bridged into telemetry events.
+
+Library modules log through ``logging.getLogger("repro.<area>")``
+instead of bare ``print`` (enforced by tests/test_no_bare_print.py).
+Two consumers exist:
+
+* the console — :func:`setup_logging` installs one stderr handler on
+  the ``repro`` root logger with a level picked by the CLI's
+  ``--verbose``/``--quiet`` flags;
+* the trace — :class:`TelemetryLogHandler` forwards every record as a
+  ``log`` event, so warnings and progress lines land in the same JSONL
+  stream as spans and metrics and show up in ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.obs.telemetry import NullTelemetry, Telemetry, get_telemetry
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+
+class TelemetryLogHandler(logging.Handler):
+    """Forward log records into a telemetry run as ``log`` events.
+
+    Bound to a specific :class:`Telemetry` when given one; otherwise it
+    resolves the process-global telemetry per record, so one installed
+    handler covers every ``telemetry_session``.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None, level=logging.DEBUG) -> None:
+        super().__init__(level=level)
+        self._telemetry = telemetry
+
+    def emit(self, record: logging.LogRecord) -> None:
+        tel = self._telemetry if self._telemetry is not None else get_telemetry()
+        if isinstance(tel, NullTelemetry):
+            return
+        try:
+            tel.event(
+                "log",
+                level=record.levelname,
+                logger=record.name,
+                message=record.getMessage(),
+            )
+        except Exception:  # a broken sink must never kill the run
+            self.handleError(record)
+
+
+def bridge_logging(
+    telemetry: Optional[Telemetry] = None,
+    logger_name: str = ROOT_LOGGER,
+    level: int = logging.DEBUG,
+) -> TelemetryLogHandler:
+    """Install (and return) a telemetry handler on ``logger_name``."""
+    handler = TelemetryLogHandler(telemetry, level=level)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler
+
+
+def unbridge_logging(handler: TelemetryLogHandler, logger_name: str = ROOT_LOGGER) -> None:
+    """Remove a handler installed by :func:`bridge_logging`."""
+    logging.getLogger(logger_name).removeHandler(handler)
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` console logger for CLI runs.
+
+    ``verbosity``: -1 (``--quiet``, warnings and errors only),
+    0 (default, progress at INFO), 1 (``--verbose``, DEBUG — includes
+    per-epoch training losses).  Idempotent: re-running replaces the
+    previously installed console handler instead of stacking one more.
+    """
+    level = {-1: logging.WARNING, 0: logging.INFO}.get(verbosity, logging.DEBUG)
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(min(level, logger.level) if logger.level != logging.NOTSET else level)
+    for h in list(logger.handlers):
+        if getattr(h, "_repro_console", False):
+            logger.removeHandler(h)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+    handler._repro_console = True
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

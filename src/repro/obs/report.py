@@ -1,0 +1,285 @@
+"""Run-report CLI: render a trace JSONL into a text summary.
+
+Usage::
+
+    python -m repro report <trace.jsonl>
+
+Sections rendered (each only when the trace contains the data):
+
+* run header — run id, schema version, event count, wall span, and the
+  parent run when the trace was stitched onto a checkpointed original;
+* per-stage time breakdown — span durations aggregated by name;
+* refinement trajectory — one line per ``refine`` invocation
+  reconstructed from ``refine_start``/``refine_iter``/``refine_end``;
+* training — per ``train_evaluator`` invocation;
+* metric registry — counters, gauges and histogram summaries from the
+  final ``metrics`` event;
+* notable events — budget exhaustion, injected faults, non-finite
+  guards, stage errors, log records by level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.telemetry import SCHEMA_VERSION
+
+
+class TraceError(ValueError):
+    """The file is not a readable telemetry trace."""
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse one JSONL trace; raises :class:`TraceError` on bad input."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace not found: {path}")
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise TraceError(f"{path}:{lineno}: not a telemetry event")
+            events.append(record)
+    if not events:
+        raise TraceError(f"{path}: empty trace")
+    return events
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    """Minimal fixed-width text table (keeps this module zero-dep)."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def summarize_spans(events: Sequence[Dict[str, Any]]) -> "OrderedDict[str, Dict[str, float]]":
+    """Aggregate ``span_end`` durations by span name (insertion order)."""
+    spans: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for ev in events:
+        if ev.get("kind") != "span_end":
+            continue
+        name = str(ev.get("name", "?"))
+        agg = spans.setdefault(name, {"count": 0, "total": 0.0, "errors": 0})
+        agg["count"] += 1
+        agg["total"] += float(ev.get("dur", 0.0))
+        if ev.get("status") == "error":
+            agg["errors"] += 1
+    return spans
+
+
+def summarize_refinements(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One summary dict per ``refine`` invocation found in the trace."""
+    runs: List[Dict[str, Any]] = []
+    current: Optional[Dict[str, Any]] = None
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "refine_start":
+            current = {"start": ev, "iters": [], "end": None}
+            runs.append(current)
+        elif kind == "refine_iter":
+            if current is None:
+                current = {"start": None, "iters": [], "end": None}
+                runs.append(current)
+            current["iters"].append(ev)
+        elif kind == "refine_end":
+            if current is None:
+                current = {"start": None, "iters": [], "end": None}
+                runs.append(current)
+            current["end"] = ev
+            current = None
+    return runs
+
+
+def _final_metrics(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    for ev in reversed(events):
+        if ev.get("kind") == "metrics":
+            return ev
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_report(events: Sequence[Dict[str, Any]]) -> str:
+    lines: List[str] = []
+    start = next((e for e in events if e.get("kind") == "run_start"), None)
+    run_id = (start or events[0]).get("run", "?")
+    schema = (start or {}).get("schema", "?")
+    times = [float(e["t"]) for e in events if "t" in e]
+    wall = (max(times) - min(times)) if times else 0.0
+    lines.append(
+        f"Telemetry run {run_id} (schema {schema}) — "
+        f"{len(events)} events, {wall:.3f} s span"
+    )
+    if start is not None and start.get("parent_run"):
+        lines.append(f"  stitched onto parent run {start['parent_run']} (checkpoint resume)")
+    resumes = [e for e in events if e.get("kind") == "checkpoint_resume"]
+    for ev in resumes:
+        lines.append(
+            f"  resumed {ev.get('what', 'state')} from checkpoint of run "
+            f"{ev.get('parent_run') or '<untraced>'}"
+        )
+
+    spans = summarize_spans(events)
+    if spans:
+        grand = sum(a["total"] for a in spans.values()) or 1.0
+        rows = []
+        for name, agg in sorted(spans.items(), key=lambda kv: -kv[1]["total"]):
+            mean_ms = 1e3 * agg["total"] / agg["count"] if agg["count"] else 0.0
+            rows.append(
+                [
+                    name,
+                    agg["count"],
+                    f"{agg['total']:.4f}",
+                    f"{mean_ms:.2f}",
+                    f"{100.0 * agg['total'] / grand:.1f}%",
+                    agg["errors"],
+                ]
+            )
+        lines.append("")
+        lines.append("Stage timing (spans)")
+        lines.extend(_table(["stage", "count", "total_s", "mean_ms", "share", "errors"], rows))
+
+    refinements = summarize_refinements(events)
+    if refinements:
+        lines.append("")
+        lines.append("Refinement")
+        for i, run in enumerate(refinements):
+            end = run["end"] or {}
+            start_ev = run["start"] or {}
+            iters = run["iters"]
+            accepted = sum(1 for ev in iters if ev.get("accepted"))
+            init_wns = start_ev.get("init_wns", end.get("init_wns"))
+            init_tns = start_ev.get("init_tns", end.get("init_tns"))
+            lines.append(
+                f"  run {i}: {len(iters)} iterations, {accepted} accepted, "
+                f"{end.get('validated_reverts', 0)} validated reverts, "
+                f"{end.get('skipped_steps', 0)} skipped, "
+                f"{end.get('validations', 0)} oracle probes, "
+                f"{end.get('checkpoint_saves', 0)} checkpoint saves"
+            )
+            if init_wns is not None and end.get("best_wns") is not None:
+                lines.append(
+                    f"    WNS {_fmt(float(init_wns))} -> {_fmt(float(end['best_wns']))}"
+                    f"   TNS {_fmt(float(init_tns))} -> {_fmt(float(end['best_tns']))}"
+                )
+            flags = [
+                f for f in ("timed_out", "degraded", "resumed") if end.get(f)
+            ]
+            if flags:
+                lines.append(f"    flags: {', '.join(flags)}")
+
+    epochs = [e for e in events if e.get("kind") == "train_epoch"]
+    if epochs:
+        last = epochs[-1]
+        finite = [float(e["loss"]) for e in epochs if e.get("loss") == e.get("loss")]
+        lines.append("")
+        lines.append(
+            f"Training: {len(epochs)} epochs, final loss "
+            f"{_fmt(float(last.get('loss', float('nan'))))}"
+            + (f", best {_fmt(min(finite))}" if finite else "")
+        )
+
+    metrics = _final_metrics(events)
+    if metrics is not None:
+        counters = metrics.get("counters") or {}
+        if counters:
+            lines.append("")
+            lines.append("Counters")
+            lines.extend(_table(["counter", "value"], sorted(counters.items())))
+        gauges = metrics.get("gauges") or {}
+        if gauges:
+            lines.append("")
+            lines.append("Gauges")
+            lines.extend(_table(["gauge", "value"], sorted(gauges.items())))
+        hists = metrics.get("hists") or {}
+        if hists:
+            lines.append("")
+            lines.append("Histograms")
+            rows = [
+                [name, h.get("count", 0), h.get("mean", 0.0), h.get("min", 0.0), h.get("max", 0.0)]
+                for name, h in sorted(hists.items())
+            ]
+            lines.extend(_table(["histogram", "count", "mean", "min", "max"], rows))
+
+    notable = {}
+    for ev in events:
+        kind = ev.get("kind")
+        if kind in ("budget_exhausted", "fault_injected", "nonfinite", "stage_error", "validator_degraded"):
+            notable[kind] = notable.get(kind, 0) + 1
+    logs: Dict[str, int] = {}
+    for ev in events:
+        if ev.get("kind") == "log":
+            level = str(ev.get("level", "?"))
+            logs[level] = logs.get(level, 0) + 1
+    if notable or logs:
+        lines.append("")
+        lines.append("Notable events")
+        for kind, n in sorted(notable.items()):
+            lines.append(f"  {kind}: {n}")
+        if logs:
+            parts = ", ".join(f"{k.lower()} {v}" for k, v in sorted(logs.items()))
+            lines.append(f"  log records: {parts}")
+
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Summarize a telemetry trace (JSONL) written with --trace.",
+    )
+    parser.add_argument("trace", nargs="+", help="trace file(s) to summarize")
+    args = parser.parse_args(argv)
+    status = 0
+    for i, path in enumerate(args.trace):
+        if i:
+            sys.stdout.write("\n")
+        try:
+            events = read_trace(path)
+        except TraceError as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            status = 1
+            continue
+        schema = next(
+            (e.get("schema") for e in events if e.get("kind") == "run_start"), None
+        )
+        if schema is not None and int(schema) > SCHEMA_VERSION:
+            sys.stderr.write(
+                f"warning: {path} uses schema {schema}, newer than this "
+                f"reader ({SCHEMA_VERSION}) — fields may be missing\n"
+            )
+        sys.stdout.write(render_report(events))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

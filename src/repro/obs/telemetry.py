@@ -1,0 +1,374 @@
+"""Zero-dependency telemetry core: spans, metrics, structured events.
+
+One :class:`Telemetry` instance records one *run*: a stream of JSON-lines
+events (stable schema, versioned by :data:`SCHEMA_VERSION`) plus an
+aggregated metric registry (counters / gauges / histograms) flushed as a
+single ``metrics`` event on :meth:`Telemetry.close`.
+
+Design rules, mirroring ``runtime/budget.py``:
+
+* the clock is **injectable** — tests drive it with
+  :class:`~repro.runtime.budget.ManualClock` and get byte-identical
+  JSONL across identical runs;
+* everything is observation-only: instrumented code behaves bitwise
+  identically with telemetry on or off (tests/test_obs.py asserts this
+  for ``refine``);
+* the disabled path is a :class:`NullTelemetry` whose methods are empty
+  and whose ``span`` returns a shared no-op context manager, so the hot
+  loops pay one attribute lookup and a cheap call, no allocation.
+
+Event schema (one JSON object per line, keys sorted)::
+
+    {"kind": str, "run": str, "seq": int, "t": float, ...}
+
+``kind`` values written by this repo: ``run_start``, ``run_end``,
+``span_start``, ``span_end``, ``metrics``, ``log``, plus free-form
+instrumentation events (``refine_iter``, ``train_epoch``,
+``budget_exhausted``, ``fault_injected``, ``nonfinite``,
+``stage_error``, ``checkpoint_resume``, ...).  See
+docs/OBSERVABILITY.md for the catalogue.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: Version of the JSONL event schema.  Bumped on any incompatible field
+#: change; embedded in every ``run_start`` event and in checkpoint
+#: metadata so a resumed run can verify it stitches onto a compatible
+#: trace.
+SCHEMA_VERSION = 1
+
+#: Fields reserved by the envelope — instrumentation attrs must not
+#: shadow them.
+_RESERVED = ("kind", "run", "seq", "t")
+
+
+def _json_default(value: Any):
+    """Coerce numpy scalars/arrays and other strays into JSON types."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(value)
+
+
+def _dumps(obj: Dict[str, Any]) -> str:
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :meth:`NullTelemetry.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **fields) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Disabled telemetry: every method is a no-op.
+
+    ``enabled`` lets hot paths skip building event payloads entirely::
+
+        if tel.enabled:
+            tel.event("refine_iter", ...)
+    """
+
+    enabled = False
+    run_id: Optional[str] = None
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def hist(self, name: str, value: float) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTelemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Process-wide disabled instance; also the default "global" telemetry.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _Hist:
+    """Streaming histogram summary: count / sum / min / max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class Span:
+    """One hierarchical timed region; use as a context manager."""
+
+    __slots__ = ("_tel", "name", "attrs", "span_id", "parent_id", "_t0", "_notes")
+
+    def __init__(self, tel: "Telemetry", name: str, attrs: Dict[str, Any]) -> None:
+        self._tel = tel
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._t0 = 0.0
+        self._notes: Dict[str, Any] = {}
+
+    def annotate(self, **fields) -> None:
+        """Attach result fields to the eventual ``span_end`` event."""
+        self._notes.update(fields)
+
+    def __enter__(self) -> "Span":
+        tel = self._tel
+        self.span_id = tel._next_span_id()
+        self.parent_id = tel._stack[-1] if tel._stack else None
+        tel._stack.append(self.span_id)
+        self._t0 = tel._clock()
+        tel.event(
+            "span_start",
+            name=self.name,
+            span=self.span_id,
+            parent=self.parent_id,
+            attrs=self.attrs,
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tel = self._tel
+        dur = tel._clock() - self._t0
+        if tel._stack and tel._stack[-1] == self.span_id:
+            tel._stack.pop()
+        fields: Dict[str, Any] = {
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "dur": dur,
+            "status": "error" if exc_type is not None else "ok",
+            "attrs": self._notes,
+        }
+        if exc_type is not None:
+            fields["error"] = f"{exc_type.__name__}: {exc}"
+        tel.event("span_end", **fields)
+        return False
+
+
+class Telemetry:
+    """Active telemetry run writing JSONL events.
+
+    Parameters
+    ----------
+    path:
+        Destination JSONL file.  When omitted, events are retained in
+        :attr:`events` (handy for tests and in-process inspection).
+    clock:
+        Monotonic time source (default :func:`time.perf_counter`);
+        inject :class:`~repro.runtime.budget.ManualClock`'s ``now`` for
+        deterministic traces.
+    run_id:
+        Stable identifier for this run; random when omitted.  Inject a
+        fixed one for byte-identical traces.
+    parent_run:
+        Run id of the trace this run continues (checkpoint resume);
+        recorded in the ``run_start`` event so the report CLI can
+        stitch trajectories.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        run_id: Optional[str] = None,
+        parent_run: Optional[str] = None,
+    ) -> None:
+        self._clock = clock or time.perf_counter
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
+        self.parent_run = parent_run
+        self.path = Path(path) if path is not None else None
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self.events: List[Dict[str, Any]] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._hists: Dict[str, _Hist] = {}
+        self._seq = 0
+        self._span_seq = 0
+        self._stack: List[int] = []
+        self._closed = False
+        start: Dict[str, Any] = {"schema": SCHEMA_VERSION}
+        if parent_run is not None:
+            start["parent_run"] = parent_run
+        self.event("run_start", **start)
+
+    # ------------------------------------------------------------------
+    def _next_span_id(self) -> int:
+        self._span_seq += 1
+        return self._span_seq
+
+    def event(self, kind: str, **fields) -> None:
+        """Emit one structured event (a JSONL line)."""
+        if self._closed:
+            return
+        for key in _RESERVED:
+            if key in fields:
+                raise ValueError(f"reserved event field {key!r}")
+        record: Dict[str, Any] = {
+            "kind": kind,
+            "run": self.run_id,
+            "seq": self._seq,
+            "t": self._clock(),
+        }
+        record.update(fields)
+        self._seq += 1
+        if self._fh is not None:
+            self._fh.write(_dumps(record) + "\n")
+        else:
+            self.events.append(record)
+
+    def span(self, name: str, **attrs) -> Span:
+        """Hierarchical timed region; nesting tracked automatically."""
+        return Span(self, name, attrs)
+
+    # -- metric registry ------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def hist(self, name: str, value: float) -> None:
+        h = self._hists.get(name)
+        if h is None:
+            h = self._hists[name] = _Hist()
+        h.add(float(value))
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Current aggregated metrics (what ``close`` will emit)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "hists": {k: self._hists[k].summary() for k in sorted(self._hists)},
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush metrics, emit ``run_end`` and close the sink (idempotent)."""
+        if self._closed:
+            return
+        self.event("metrics", **self.metrics_snapshot())
+        self.event("run_end", events=self._seq + 1)
+        self._closed = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Process-global telemetry (the library default for instrumentation
+# points that have no threaded handle — cache hit counters, budget
+# expiry, fault injection).  Defaults to NULL_TELEMETRY.
+# ----------------------------------------------------------------------
+_GLOBAL: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
+
+
+def get_telemetry() -> Union[Telemetry, NullTelemetry]:
+    """The process-global telemetry (NULL_TELEMETRY unless installed)."""
+    return _GLOBAL
+
+
+def set_telemetry(tel: Optional[Union[Telemetry, NullTelemetry]]):
+    """Install ``tel`` as the process-global telemetry (None resets)."""
+    global _GLOBAL
+    _GLOBAL = tel if tel is not None else NULL_TELEMETRY
+    return _GLOBAL
+
+
+@contextlib.contextmanager
+def telemetry_session(tel: Union[Telemetry, NullTelemetry]):
+    """Temporarily install ``tel`` globally; always restores on exit."""
+    previous = get_telemetry()
+    set_telemetry(tel)
+    try:
+        yield tel
+    finally:
+        set_telemetry(previous)
+
+
+def active_run_id() -> Optional[str]:
+    """Run id of the global telemetry, or None when disabled."""
+    return _GLOBAL.run_id

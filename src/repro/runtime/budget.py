@@ -61,11 +61,13 @@ class Budget:
         self._clock = clock or time.monotonic
         self._start = self._clock()
         self.probes_spent = 0
+        self._reported = False
 
     # ------------------------------------------------------------------
     def restart(self) -> "Budget":
         self._start = self._clock()
         self.probes_spent = 0
+        self._reported = False
         return self
 
     def elapsed(self) -> float:
@@ -83,10 +85,34 @@ class Budget:
     def expired(self) -> bool:
         """True once either limit is exhausted (cooperative check)."""
         if self.wall_seconds is not None and self.elapsed() >= self.wall_seconds:
+            self._report_exhaustion("wall_seconds")
             return True
         if self.max_probes is not None and self.probes_spent >= self.max_probes:
+            self._report_exhaustion("max_probes")
             return True
         return False
+
+    def _report_exhaustion(self, limit: str) -> None:
+        """Emit one ``budget_exhausted`` trace event per exhaustion.
+
+        Telemetry is resolved from the process global at report time
+        (``repro.obs``); the flag resets with :meth:`restart`.
+        """
+        if self._reported:
+            return
+        self._reported = True
+        from repro.obs import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event(
+                "budget_exhausted",
+                limit=limit,
+                elapsed=self.elapsed(),
+                probes=self.probes_spent,
+                wall_seconds=self.wall_seconds,
+                max_probes=self.max_probes,
+            )
 
     def check(self, what: str = "budget") -> None:
         """Hard variant: raise :class:`BudgetExceeded` when expired."""

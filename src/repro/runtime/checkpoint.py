@@ -46,6 +46,12 @@ def atomic_save_npz(
     Values may be numpy arrays or python scalars.  The write is
     temp-file + ``os.replace``: concurrent readers always see a
     complete file.
+
+    When a telemetry run is active (``repro.obs.get_telemetry()``), its
+    run id and trace schema version are stamped into ``meta`` (without
+    overwriting caller-supplied values), so a later ``--resume`` can
+    stitch the continuation trace onto the original run
+    (docs/OBSERVABILITY.md).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -54,6 +60,13 @@ def atomic_save_npz(
         if key in (FORMAT_KEY, META_KEY):
             raise ValueError(f"reserved checkpoint key {key!r}")
         payload[key] = np.asarray(value)
+    from repro.obs import SCHEMA_VERSION, get_telemetry
+
+    tel = get_telemetry()
+    if tel.enabled:
+        meta = dict(meta) if meta is not None else {}
+        meta.setdefault("telemetry_run", tel.run_id)
+        meta.setdefault("telemetry_schema", SCHEMA_VERSION)
     if meta is not None:
         blob = json.dumps(meta).encode("utf-8")
         payload[META_KEY] = np.frombuffer(blob, dtype=np.uint8)

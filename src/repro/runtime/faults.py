@@ -100,6 +100,7 @@ class FaultyCallable:
         for spec in self.specs:
             if not spec.fires(self.calls):
                 continue
+            self._report(spec)
             if spec.mode == MODE_RAISE:
                 exc = spec.exc
                 if exc is None:
@@ -115,6 +116,15 @@ class FaultyCallable:
                 raise ValueError(f"unknown fault mode {spec.mode!r}")
         result = self.fn(*args, **kwargs)
         return _poison(result) if poison else result
+
+    def _report(self, spec: FaultSpec) -> None:
+        """Record the firing fault in the active telemetry trace."""
+        from repro.obs import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("faults.injected")
+            tel.event("fault_injected", mode=spec.mode, call=self.calls)
 
 
 def wrap(

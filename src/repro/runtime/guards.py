@@ -48,6 +48,12 @@ def check_finite(value, what: str, policy: str = POLICY_RAISE) -> bool:
     validate_policy(policy)
     if all_finite(value):
         return True
+    from repro.obs import get_telemetry
+
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("guards.nonfinite")
+        tel.event("nonfinite", what=what, policy=policy)
     if policy == POLICY_SANITIZE:
         return False
     arr = np.asarray(value, dtype=np.float64)

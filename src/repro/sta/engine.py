@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.groute.router import GlobalRouteResult
 from repro.netlist.netlist import Netlist, PinDirection
+from repro.obs import get_telemetry
 from repro.sta import flat as flatmod
 from repro.sta.rctree import compute_net_timing
 from repro.steiner.forest import SteinerForest
@@ -344,9 +345,15 @@ def _eval_cell_arcs(
 
 
 class STAEngine:
-    """Reusable engine bound to a netlist; run per Steiner solution."""
+    """Reusable engine bound to a netlist; run per Steiner solution.
 
-    def __init__(self, netlist: Netlist) -> None:
+    ``telemetry`` pins this engine's observations to one run; when
+    omitted every query resolves the process-global telemetry, so a
+    ``telemetry_session`` installed later still sees the counters.
+    """
+
+    def __init__(self, netlist: Netlist, telemetry=None) -> None:
+        self.telemetry = telemetry
         self.netlist = netlist
         self.technology = netlist.technology
         self.library = netlist.library
@@ -419,9 +426,14 @@ class STAEngine:
         float re-association noise (see tests/test_flat_sta.py).
         """
         k = kernel or self.default_kernel
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
         if k == "flat":
+            if tel.enabled:
+                tel.count("sta.runs_flat")
             return self._run_flat(forest, route_result, utilization)
         if k == "reference":
+            if tel.enabled:
+                tel.count("sta.runs_reference")
             return self._run_reference(forest, route_result, utilization)
         raise ValueError(f"unknown STA kernel {k!r}")
 

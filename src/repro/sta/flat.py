@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.groute.router import GlobalRouteResult
+from repro.obs import get_telemetry
 from repro.pdk.technology import Technology
 from repro.steiner.forest import SteinerForest
 
@@ -257,6 +258,7 @@ def flat_forest_of(forest: SteinerForest, pin_caps: Dict[int, float]) -> FlatFor
     sweep (cheap — no per-tree property chains) detects every topology
     edit.  Coordinate moves keep the cache.
     """
+    tel = get_telemetry()
     cached = getattr(forest, _FLAT_CACHE_ATTR, None)
     if cached is not None:
         flat, topo_refs, caps_ref = cached
@@ -266,7 +268,11 @@ def flat_forest_of(forest: SteinerForest, pin_caps: Dict[int, float]) -> FlatFor
             and len(trees) == len(topo_refs)
             and all(t._topo is r for t, r in zip(trees, topo_refs))
         ):
+            if tel.enabled:
+                tel.count("sta.flat_cache_hits")
             return flat
+    if tel.enabled:
+        tel.count("sta.flat_cache_misses")
     flat = build_flat_forest(forest, pin_caps)
     topo_refs = [t._topo for t in forest.trees]
     setattr(forest, _FLAT_CACHE_ATTR, (flat, topo_refs, pin_caps))

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.groute.router import GlobalRouteResult
 from repro.netlist.netlist import Netlist
+from repro.obs import get_telemetry
 from repro.sta import flat as flatmod
 from repro.sta.engine import (
     DEFAULT_INPUT_SLEW,
@@ -125,6 +126,9 @@ class IncrementalSTA:
     ) -> TimingReport:
         """Timing under the forest's current Steiner coordinates."""
         self.num_queries += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("incsta.queries")
         pert = self.engine.pert()
         flat = flatmod.flat_forest_of(self.forest, pert.pin_caps)
         coords = self.forest.get_steiner_coords()
@@ -139,6 +143,8 @@ class IncrementalSTA:
             self._state = None
             raise
         if self.parity_check:
+            if tel.enabled:
+                tel.count("incsta.parity_checks")
             self._assert_parity(report, route_result, utilization)
         return report
 
@@ -152,6 +158,10 @@ class IncrementalSTA:
     ) -> TimingReport:
         self.num_full += 1
         self.last_dirty_trees = flat.n_trees
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("incsta.full_rebuilds")
+            tel.hist("incsta.dirty_trees", flat.n_trees)
         engine = self.engine
         pert = engine.pert()
         xy = flatmod.node_positions(flat, coords)
@@ -259,6 +269,9 @@ class IncrementalSTA:
 
         dirty = np.flatnonzero(dirty_mask)
         self.last_dirty_trees = int(dirty.size)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.hist("incsta.dirty_trees", int(dirty.size))
         n_pins = pert.n_pins
         recompute = np.zeros(n_pins, dtype=bool)
         if dirty.size:
@@ -295,10 +308,13 @@ class IncrementalSTA:
         pert = self.engine.pert()
         arrival, slew = st.arrival, st.slew
         changed = np.zeros(pert.n_pins, dtype=bool)
+        levels_touched = 0
         for lv in pert.levels:
+            level_touched = False
             if lv.net_dst.size:
                 m = recompute[lv.net_dst] | changed[lv.net_src]
                 if m.any():
+                    level_touched = True
                     src = lv.net_src[m]
                     dst = lv.net_dst[m]
                     a_drv = arrival[src]
@@ -324,7 +340,10 @@ class IncrementalSTA:
                     )
                 idx = np.flatnonzero(dsel)
                 if idx.size == 0:
+                    if level_touched:
+                        levels_touched += 1
                     continue
+                level_touched = True
                 starts = lv.cell_start[:-1][idx]
                 ends = lv.cell_start[1:][idx]
                 arc_rows = flatmod._expand_ranges(starts, ends)
@@ -343,6 +362,11 @@ class IncrementalSTA:
                 arrival[dsts] = new_a
                 slew[dsts] = wslew
                 changed[dsts] |= ch
+            if level_touched:
+                levels_touched += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.hist("incsta.frontier_levels", levels_touched)
 
     # ------------------------------------------------------------------
     def _assert_parity(

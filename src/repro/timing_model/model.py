@@ -29,6 +29,7 @@ import numpy as np
 from repro.autodiff import functional as F
 from repro.autodiff import nn
 from repro.autodiff.tensor import Tensor, concatenate
+from repro.obs import get_telemetry
 from repro.timing_model.graph import TimingGraph
 
 
@@ -105,9 +106,14 @@ class TimingEvaluator(nn.Module):
         """
         cfg = self.config
         key = ("evaluator", cfg.cap_scale, cfg.hidden)
+        tel = get_telemetry()
         cached = graph._static.get(key)
         if cached is not None:
+            if tel.enabled:
+                tel.count("evaluator.static_cache_hits")
             return cached
+        if tel.enabled:
+            tel.count("evaluator.static_cache_misses")
         m = graph.n_sg_nodes
         type_onehot = np.zeros((m, 3))
         type_onehot[np.arange(m), graph.sg_node_type] = 1.0
@@ -158,6 +164,9 @@ class TimingEvaluator(nn.Module):
         matrix; set ``requires_grad=True`` on it to obtain refinement
         gradients via ``backward`` on a scalar of the output.
         """
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("evaluator.forward")
         cfg = self.config
         m = graph.n_sg_nodes
         static = self._static_tensors(graph)

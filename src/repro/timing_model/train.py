@@ -20,6 +20,7 @@ the paper's Eq. (10), used for Table III.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.autodiff import optim
 from repro.autodiff.tensor import Tensor
+from repro.obs import SCHEMA_VERSION, get_telemetry
 from repro.runtime import (
     Budget,
     CheckpointError,
@@ -41,6 +43,8 @@ from repro.timing_model.dataset import DesignSample
 from repro.timing_model.model import TimingEvaluator
 
 _TRAIN_CKPT_KIND = "trainer-v1"
+
+_log = logging.getLogger("repro.train")
 
 
 @dataclass
@@ -103,8 +107,16 @@ def train_evaluator(
     checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    telemetry=None,
 ) -> TrainResult:
-    """Train ``model`` on the training subset of ``samples``."""
+    """Train ``model`` on the training subset of ``samples``.
+
+    ``telemetry`` records ``train_start``/``train_epoch``/``train_end``
+    trace events (docs/OBSERVABILITY.md); when omitted the process
+    global applies, so an installed ``telemetry_session`` still sees
+    the run.
+    """
+    tel = telemetry if telemetry is not None else get_telemetry()
     cfg = config or TrainerConfig()
     policy = validate_policy(cfg.nonfinite_policy)
     train_samples = [s for s in samples if s.is_train]
@@ -149,6 +161,14 @@ def train_evaluator(
         result.losses = [float(x) for x in np.asarray(ckpt["losses"]).ravel()]
         result.skipped_steps = int(ckpt["skipped_steps"])
         result.resumed = True
+        if tel.enabled:
+            tel.event(
+                "checkpoint_resume",
+                what="train",
+                parent_run=meta.get("telemetry_run"),
+                parent_schema=meta.get("telemetry_schema"),
+                epoch=start_epoch,
+            )
 
     def save_checkpoint(epoch_done: int) -> None:
         arrays: Dict[str, np.ndarray] = {
@@ -167,11 +187,32 @@ def train_evaluator(
         for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
             arrays[f"adam_m/{i}"] = m
             arrays[f"adam_v/{i}"] = v
-        atomic_save_npz(checkpoint_path, arrays, meta={"kind": _TRAIN_CKPT_KIND})
+        atomic_save_npz(
+            checkpoint_path,
+            arrays,
+            meta={
+                "kind": _TRAIN_CKPT_KIND,
+                "telemetry_run": tel.run_id,
+                "telemetry_schema": SCHEMA_VERSION,
+            },
+        )
+        if tel.enabled:
+            tel.count("train.checkpoint_saves")
 
+    if tel.enabled:
+        tel.event(
+            "train_start",
+            samples=len(train_samples),
+            epochs=cfg.epochs,
+            start_epoch=start_epoch,
+            lr=cfg.learning_rate,
+            resumed=result.resumed,
+        )
     for epoch in range(start_epoch, cfg.epochs):
         if budget is not None and budget.expired():
             result.timed_out = True
+            if tel.enabled:
+                tel.event("budget_expired", where="train", epoch=epoch)
             break
         epoch_loss = 0.0
         counted = 0
@@ -195,8 +236,18 @@ def train_evaluator(
         # must read as nan, never as a spuriously perfect 0.0 "best".
         epoch_loss = epoch_loss / counted if counted else float("nan")
         result.losses.append(epoch_loss)
-        if cfg.verbose:
-            print(f"epoch {epoch:4d}  loss {epoch_loss:.6f}")
+        _log.log(
+            logging.INFO if cfg.verbose else logging.DEBUG,
+            "epoch %4d  loss %.6f", epoch, epoch_loss,
+        )
+        if tel.enabled:
+            tel.event(
+                "train_epoch",
+                epoch=epoch,
+                loss=epoch_loss,
+                steps=counted,
+                skipped=result.skipped_steps,
+            )
         if math.isfinite(epoch_loss) and epoch_loss < best - cfg.min_delta:
             best = epoch_loss
             best_epoch = epoch
@@ -211,6 +262,16 @@ def train_evaluator(
     model.load_state_dict(best_state)
     result.best_epoch = best_epoch
     result.final_loss = best
+    if tel.enabled:
+        tel.event(
+            "train_end",
+            epochs_run=len(result.losses),
+            best_epoch=best_epoch,
+            final_loss=best,
+            skipped_steps=result.skipped_steps,
+            timed_out=result.timed_out,
+            resumed=result.resumed,
+        )
     return result
 
 

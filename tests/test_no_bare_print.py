@@ -1,0 +1,40 @@
+"""Style gate: library code reports through telemetry/logging, not print.
+
+Bare ``print()`` in library modules bypasses the structured logging
+bridge (docs/OBSERVABILITY.md) — output can neither be silenced with
+``--quiet`` nor captured into a trace.  CLI entry points (the
+``__main__.py`` modules) are the user-facing surface and keep plain
+stdout writes.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules allowed to print: CLI entry points only.
+ALLOWED = frozenset({"__main__.py"})
+
+_PRINT = re.compile(r"(?<![\w.])print\(")
+
+
+def _violations():
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                continue
+            if _PRINT.search(line):
+                found.append(f"{path.relative_to(SRC.parent.parent)}:{lineno}: {stripped}")
+    return found
+
+
+def test_no_bare_print_in_library_code():
+    violations = _violations()
+    assert violations == [], (
+        "bare print() in library code — use the repro logger or telemetry "
+        "(docs/OBSERVABILITY.md):\n" + "\n".join(violations)
+    )
