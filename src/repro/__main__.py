@@ -35,6 +35,7 @@ import traceback
 
 from repro.experiments import ablation, fig2, fig5, table1, table2, table3, table4
 from repro.experiments.common import ExperimentConfig, set_runtime_defaults
+from repro.experiments.parallel import set_default_jobs
 from repro.obs import Telemetry, setup_logging, telemetry_session
 from repro.runtime import Budget, ReproError, StageError
 
@@ -112,6 +113,15 @@ def main(argv=None) -> int:
         f"(default: {_DEFAULT_CHECKPOINT_DIR})",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for per-design experiment fan-out "
+        "(1 = serial, 0 = one per CPU); results are ordered and "
+        "bit-identical to a serial run (docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -145,6 +155,7 @@ def main(argv=None) -> int:
         checkpoint_dir = _DEFAULT_CHECKPOINT_DIR
     budget = Budget(wall_seconds=args.timeout) if args.timeout is not None else None
     set_runtime_defaults(checkpoint_dir=checkpoint_dir, budget=budget)
+    set_default_jobs(args.jobs)
 
     names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
     failures = 0

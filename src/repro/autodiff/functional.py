@@ -45,7 +45,7 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad[seg])
 
-    return Tensor._make(out_data, (x,), backward, "segment_sum")
+    return Tensor._make(out_data, (x,), backward, "segment_sum", ctx=(seg, num_segments))
 
 
 def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -82,7 +82,71 @@ def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int, fill: flo
         tie_counts = np.maximum(tie_counts, 1.0)
         x._accumulate(contrib / tie_counts[seg])
 
-    return Tensor._make(out_data, (x,), backward, "segment_max")
+    return Tensor._make(out_data, (x,), backward, "segment_max", ctx=(seg, num_segments, fill))
+
+
+def _detached(data: np.ndarray, parents, op: str, ctx=None) -> Tensor:
+    """Non-differentiable node that keeps parent links for the compiler.
+
+    The closure engine treats these exactly like the plain ``Tensor``
+    constants they replace: ``requires_grad`` is False, so ``backward``
+    never pushes them on its DFS stack and no gradient flows through.
+    The tape compiler, however, sees the recorded parents and *op* and
+    re-computes ``data`` from live parent values on every replay — which
+    is how data-dependent quantities (log-sum-exp shifts, congestion
+    cell indices) stay correct when the input coordinates change.
+    """
+    return Tensor(np.asarray(data, dtype=np.float64), _parents=tuple(parents), _op=op, _ctx=ctx)
+
+
+def detached_max(x: Tensor, axis: Optional[int] = None) -> Tensor:
+    """``np.max(x.data, axis, keepdims=True)`` as a recompute node."""
+    return _detached(np.max(x.data, axis=axis, keepdims=True), (x,), "detached_max", ctx=axis)
+
+
+def detached_div(x: Tensor, divisor: float) -> Tensor:
+    """``x.data / divisor`` with no gradient flow (recomputed on replay).
+
+    Kept as a true division — ``x / d`` and ``x * (1 / d)`` differ in
+    the last ulp for some operands, and tape parity is bitwise.
+    """
+    return _detached(x.data / divisor, (x,), "detached_div", ctx=float(divisor))
+
+
+def detached_squeeze(x: Tensor, axis: Optional[int] = None) -> Tensor:
+    """Squeeze ``axis`` (or reshape to scalar) with no gradient flow."""
+    data = np.squeeze(x.data, axis=axis) if axis is not None else x.data.reshape(())
+    return _detached(data, (x,), "detached_squeeze", ctx=axis)
+
+
+def bilinear_parts(field: np.ndarray, cx: Tensor, cy: Tensor):
+    """Data-dependent pieces of a bilinear field sample at (cx, cy).
+
+    ``cx``/``cy`` are continuous cell coordinates.  Returns the floor
+    cell corners as float tensors (``ixf``, ``iyf``) and the four
+    gathered corner values (``c00``, ``c10``, ``c01``, ``c11``) — all
+    detached recompute nodes: cell indices are piecewise constant in
+    the positions, so no gradient flows through them, but a compiled
+    tape re-derives them from the live coordinates each replay.
+    """
+    nx, ny = field.shape
+    ix = np.clip(np.floor(cx.data).astype(np.int64), 0, max(nx - 2, 0))
+    iy = np.clip(np.floor(cy.data).astype(np.int64), 0, max(ny - 2, 0))
+    ix2 = np.minimum(ix + 1, nx - 1)
+    iy2 = np.minimum(iy + 1, ny - 1)
+    parents = (cx, cy)
+
+    def node(data: np.ndarray, which: str) -> Tensor:
+        return _detached(data, parents, "bilinear", ctx=(field, which))
+
+    return (
+        node(ix.astype(np.float64), "ixf"),
+        node(iy.astype(np.float64), "iyf"),
+        node(field[ix, iy], "c00"),
+        node(field[ix2, iy], "c10"),
+        node(field[ix, iy2], "c01"),
+        node(field[ix2, iy2], "c11"),
+    )
 
 
 def logsumexp(x: Tensor, gamma: float = 1.0, axis: Optional[int] = None) -> Tensor:
@@ -90,13 +154,18 @@ def logsumexp(x: Tensor, gamma: float = 1.0, axis: Optional[int] = None) -> Tens
 
     ``LSE_gamma(x) = gamma * log(sum(exp(x / gamma)))`` which upper
     bounds ``max(x)`` and converges to it as ``gamma -> 0``.
+
+    The shift is the usual max-subtraction stabilizer.  It is data
+    dependent but piecewise constant, so it carries no gradient; it is
+    recorded as a detached recompute node so a compiled tape re-derives
+    it from the live input instead of baking a stale constant.
     """
     if gamma <= 0:
         raise ValueError("gamma must be positive")
-    shift = np.max(x.data, axis=axis, keepdims=True)
-    shifted = x * (1.0 / gamma) - Tensor(shift / gamma)
+    shift = detached_max(x, axis=axis)
+    shifted = x * (1.0 / gamma) - detached_div(shift, gamma)
     summed = shifted.exp().sum(axis=axis)
-    return summed.log() * gamma + Tensor(np.squeeze(shift, axis=axis) if axis is not None else shift.reshape(()))
+    return summed.log() * gamma + detached_squeeze(shift, axis=axis)
 
 
 def softmin_weights(values: np.ndarray, gamma: float) -> np.ndarray:

@@ -69,7 +69,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed array that records operations for backprop."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op", "_ctx")
     __array_priority__ = 200  # numpy defers binary ops to Tensor
 
     def __init__(
@@ -79,6 +79,7 @@ class Tensor:
         _parents: Tuple["Tensor", ...] = (),
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         _op: str = "leaf",
+        _ctx=None,
     ) -> None:
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
@@ -86,6 +87,10 @@ class Tensor:
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self._op = _op
+        # Op parameters (axis, clip bounds, indices, ...) recorded so the
+        # tape compiler (autodiff/tape.py) can re-derive the op's exact
+        # semantics from the built graph; unused by the closure engine.
+        self._ctx = _ctx
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -130,11 +135,14 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
         op: str,
+        ctx=None,
     ) -> "Tensor":
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
-            return Tensor(data, _op=op)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
+            return Tensor(data, _op=op, _ctx=ctx)
+        return Tensor(
+            data, requires_grad=True, _parents=parents, _backward=backward, _op=op, _ctx=ctx
+        )
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
@@ -254,7 +262,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward, "pow")
+        return Tensor._make(out_data, (self,), backward, "pow", ctx=float(exponent))
 
     # ------------------------------------------------------------------
     # Elementwise functions
@@ -317,7 +325,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * scale)
 
-        return Tensor._make(self.data * scale, (self,), backward, "leaky_relu")
+        return Tensor._make(self.data * scale, (self,), backward, "leaky_relu", ctx=negative_slope)
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data > low) & (self.data < high)
@@ -325,7 +333,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward, "clip")
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward, "clip", ctx=(low, high))
 
     # ------------------------------------------------------------------
     # Reductions
@@ -339,7 +347,7 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward, "sum")
+        return Tensor._make(out_data, (self,), backward, "sum", ctx=(axis, keepdims))
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -364,7 +372,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(np.where(mask, g / counts, 0.0))
 
-        return Tensor._make(out_data, (self,), backward, "max")
+        return Tensor._make(out_data, (self,), backward, "max", ctx=(axis, keepdims))
 
     def min(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -414,7 +422,7 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(np.array(out_data, copy=True), (self,), backward, "getitem")
+        return Tensor._make(np.array(out_data, copy=True), (self,), backward, "getitem", ctx=index)
 
     # ------------------------------------------------------------------
     # Comparison (non-differentiable, returns numpy)
@@ -451,7 +459,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(slicer)])
 
-    return Tensor._make(out_data, tuple(items), backward, "concat")
+    return Tensor._make(out_data, tuple(items), backward, "concat", ctx=axis)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

@@ -1,7 +1,7 @@
 """Perf-bench harness for the timing kernels (``python -m repro.bench``).
 
-Measures the three hot paths this repo's refinement loop leans on and
-emits a machine-readable report (``BENCH_timing.json``):
+Measures the hot paths this repo's refinement loop leans on and emits
+a machine-readable report (``BENCH_timing.json``):
 
 * ``full_sta`` — one sign-off STA pass over a whole design: the
   reference per-net Python engine vs the flat CSR/batched-Elmore
@@ -10,11 +10,19 @@ emits a machine-readable report (``BENCH_timing.json``):
   validator's workload): move a small fraction of Steiner points, ask
   for WNS/TNS, repeat.  Compares the reference engine, the full flat
   kernel, and :class:`~repro.sta.incremental.IncrementalSTA`.
-* ``evaluator`` — the GNN evaluator forward: first call (builds the
-  per-graph static tensors) vs warm calls (cache hit).
+* ``evaluator`` — the GNN evaluator forward (arrival prediction): the
+  reference closure-graph engine vs replaying the compiled instruction
+  tape (``docs/PERFORMANCE.md``).  Also records the one-off tape
+  compile cost the first iteration amortizes.
+* ``evaluator_backward`` — the refinement gradient (forward + penalty
+  + backward through the whole evaluator): closure graph vs tape.
+* ``refine_iter`` — a short end-to-end ``refine()`` run per kernel;
+  asserts the two trajectories are *bitwise identical* and reports the
+  per-iteration speedup (cold = compile included, warm = cached tape).
 
-Every kernel records a *speedup* ratio (new path vs the PR's "before"
-path) rather than only wall-clock, so the committed baseline stays
+Every kernel records a *speedup* ratio comparing the fast kernel
+against the reference kernel **on the same workload** — never
+warm-vs-cold of one kernel — so the committed baseline stays
 meaningful across machines.  ``compare_reports`` flags any kernel whose
 speedup regressed by more than ``tolerance`` (default 25%) — the
 ``bench-smoke`` pytest marker runs exactly that check against the
@@ -161,27 +169,181 @@ def bench_incremental(
     }
 
 
-def bench_evaluator(netlist, forest, repeats: int = 5) -> Dict[str, float]:
-    """Evaluator forward: cold (static-tensor build) vs warm (cache hit)."""
+def _evaluator_setup(netlist, forest):
+    """(graph, model, objective, coords) shared by the evaluator benches."""
+    from repro.core.penalty import PenaltyConfig
+    from repro.timing_model.compiled import get_compiled_objective
     from repro.timing_model.graph import build_timing_graph
     from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
 
     graph = build_timing_graph(netlist, forest)
     model = TimingEvaluator(EvaluatorConfig(seed=0))
     coords = forest.get_steiner_coords()
+    obj = get_compiled_objective(model, graph, PenaltyConfig().gamma)
+    if obj is None:  # pragma: no cover - every bench design compiles
+        raise RuntimeError("tape compilation fell back; nothing to benchmark")
+    return graph, model, obj, coords
 
-    def cold():
+
+def bench_evaluator(netlist, forest, repeats: int = 5) -> Dict[str, float]:
+    """Evaluator forward: closure-graph reference vs compiled-tape replay.
+
+    Both kernels produce the per-pin arrival array for the same
+    coordinates; ``speedup`` is closure time over (warm) tape time.
+    ``compile_ms`` is the one-off tape build a cold graph pays — it is
+    informational, not part of the speedup ratio.
+    """
+    from repro.core.penalty import PenaltyConfig
+    from repro.timing_model.compiled import get_compiled_objective
+
+    graph, model, obj, coords = _evaluator_setup(netlist, forest)
+
+    # Warm both paths (numpy, allocator, evaluator static tensors).
+    ref_arrival = model.predict_arrivals(graph, coords)
+    tape_arrival = obj.evaluate(coords)
+
+    closure_s = _best(lambda: model.predict_arrivals(graph, coords), repeats)
+    tape_s = _best(lambda: obj.evaluate(coords), repeats)
+
+    def compile_cold():
         graph._static.clear()
-        model.predict_arrivals(graph, coords)
+        get_compiled_objective(model, graph, PenaltyConfig().gamma)
 
-    model.predict_arrivals(graph, coords)  # warm numpy / allocator
-
-    cold_s = _best(cold, repeats)
-    warm_s = _best(lambda: model.predict_arrivals(graph, coords), repeats)
+    compile_s = _best(compile_cold, max(1, repeats - 2))
     return {
-        "cold_ms": cold_s * 1e3,
-        "warm_ms": warm_s * 1e3,
-        "speedup": cold_s / warm_s,
+        "closure_ms": closure_s * 1e3,
+        "tape_ms": tape_s * 1e3,
+        "compile_ms": compile_s * 1e3,
+        "speedup": closure_s / tape_s,
+        "arrival_delta": float(np.max(np.abs(ref_arrival - tape_arrival))),
+    }
+
+
+def bench_evaluator_backward(netlist, forest, repeats: int = 5) -> Dict[str, float]:
+    """Refinement gradient (forward + penalty + backward): closure vs tape.
+
+    Alternates between two coordinate sets so the tape's forward-state
+    memoization (which legitimately skips the arrival prefix when the
+    refinement loop re-differentiates the coordinates it just
+    evaluated) never fires — each call pays the full replay, matching
+    the closure's workload exactly.
+    """
+    from repro.autodiff.tensor import Tensor
+    from repro.core.penalty import PenaltyConfig, smoothed_penalty
+
+    graph, model, obj, coords = _evaluator_setup(netlist, forest)
+    pcfg = PenaltyConfig()
+    rng = np.random.default_rng(7)
+    alt = forest.clamp_coords(coords + rng.normal(0.0, 0.5, size=coords.shape))
+    pair = [coords, alt]
+
+    def closure_grad():
+        for c in pair:
+            t = Tensor(c, requires_grad=True)
+            out = model(graph, t)
+            penalty, _, _ = smoothed_penalty(
+                out["arrival"], graph.endpoints, graph.required, pcfg
+            )
+            penalty.backward()
+
+    def tape_grad():
+        for c in pair:
+            obj.gradient(c, pcfg)
+
+    closure_grad()  # warm
+    tape_grad()
+    closure_s = _best(closure_grad, repeats) / len(pair)
+    tape_s = _best(tape_grad, repeats) / len(pair)
+
+    # Bitwise parity of the gradients themselves (the tape's contract).
+    t = Tensor(coords, requires_grad=True)
+    out = model(graph, t)
+    penalty, _, _ = smoothed_penalty(out["arrival"], graph.endpoints, graph.required, pcfg)
+    penalty.backward()
+    grad_tape, _, _ = obj.gradient(coords, pcfg)
+    bitwise = bool(np.array_equal(t.grad, grad_tape, equal_nan=True))
+    return {
+        "closure_ms": closure_s * 1e3,
+        "tape_ms": tape_s * 1e3,
+        "speedup": closure_s / tape_s,
+        "grad_bitwise_equal": float(bitwise),
+    }
+
+
+def bench_refine_iter(netlist, forest, iterations: int = 10) -> Dict[str, float]:
+    """End-to-end ``refine()`` per kernel with bitwise trajectory check.
+
+    Runs a short evaluator-acceptance refinement three times — closure
+    reference, tape with a cold cache (compile included), tape warm —
+    and *asserts* the closure and tape trajectories (every history
+    entry plus the best WNS/TNS) are bitwise identical before reporting
+    any timing.  ``speedup`` is closure over warm tape; ``speedup_cold``
+    charges the tape its one-off compile.
+    """
+    from repro.core.refine import RefinementConfig, refine
+    from repro.timing_model.graph import build_timing_graph
+    from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+
+    graph = build_timing_graph(netlist, forest)
+    model = TimingEvaluator(EvaluatorConfig(seed=0))
+    coords = forest.get_steiner_coords()
+    cfg = RefinementConfig(
+        max_iterations=iterations, acceptance="evaluator", polish_probes=0
+    )
+
+    saved_kernel = model.kernel
+    timings: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    # Closure and warm-tape run twice (min taken, like ``_best``); the
+    # cold run is once by construction — repeating it would re-measure
+    # a warm cache.
+    sequence = (
+        ("closure", "closure", True),
+        ("tape_cold", "tape", True),
+        ("tape_warm", "tape", False),
+        ("closure", "closure", False),
+        ("tape_warm", "tape", False),
+    )
+    try:
+        for label, kernel, clear in sequence:
+            model.kernel = kernel
+            if clear:
+                graph._static.clear()
+            t0 = time.perf_counter()
+            result = refine(model, graph, coords, config=cfg, clamp_fn=forest.clamp_coords)
+            elapsed = time.perf_counter() - t0
+            timings[label] = min(elapsed, timings.get(label, float("inf")))
+            results.setdefault(label, result)
+    finally:
+        model.kernel = saved_kernel
+
+    ref, tape = results["closure"], results["tape_cold"]
+    same = (
+        ref.best_wns == tape.best_wns
+        and ref.best_tns == tape.best_tns
+        and len(ref.history) == len(tape.history)
+        and all(tuple(a) == tuple(b) for a, b in zip(ref.history, tape.history))
+    )
+    if not same:
+        raise RuntimeError(
+            "refine() trajectory diverged between closure and tape kernels "
+            f"(closure best WNS/TNS {ref.best_wns}/{ref.best_tns}, "
+            f"tape {tape.best_wns}/{tape.best_tns})"
+        )
+    n = max(1, ref.iterations)
+    closure_s, tape_cold_s, tape_warm_s = (
+        timings["closure"],
+        timings["tape_cold"],
+        timings["tape_warm"],
+    )
+    return {
+        "iterations": float(n),
+        "closure_ms_per_iter": closure_s / n * 1e3,
+        "tape_cold_ms_per_iter": tape_cold_s / n * 1e3,
+        "tape_ms_per_iter": tape_warm_s / n * 1e3,
+        "speedup": closure_s / tape_warm_s,
+        "speedup_cold": closure_s / tape_cold_s,
+        "trajectory_bitwise_equal": 1.0,
     }
 
 
@@ -210,10 +372,16 @@ def run_benchmarks(
     if designs is None:
         designs = QUICK_DESIGNS if quick else FULL_DESIGNS
     report: Dict = {
-        "version": 1,
+        "version": 2,
         "quick": quick,
         "designs": list(designs),
-        "kernels": {"full_sta": {}, "incremental": {}, "evaluator": {}},
+        "kernels": {
+            "full_sta": {},
+            "incremental": {},
+            "evaluator": {},
+            "evaluator_backward": {},
+            "refine_iter": {},
+        },
     }
     for name in designs:
         log(f"[bench] preparing {name} ...")
@@ -248,11 +416,37 @@ def run_benchmarks(
         )
         with tel.span("bench.evaluator", design=name) as sp:
             r = bench_evaluator(netlist, forest, repeats=repeats)
-            sp.annotate(cold_ms=r["cold_ms"], warm_ms=r["warm_ms"], speedup=r["speedup"])
+            sp.annotate(
+                closure_ms=r["closure_ms"], tape_ms=r["tape_ms"], speedup=r["speedup"]
+            )
         report["kernels"]["evaluator"][name] = r
         log(
-            f"[bench] {name} evaluator: warm {r['warm_ms']:.2f} ms, "
-            f"cold {r['cold_ms']:.2f} ms  ({r['speedup']:.1f}x)"
+            f"[bench] {name} evaluator: closure {r['closure_ms']:.2f} ms, "
+            f"tape {r['tape_ms']:.2f} ms  ({r['speedup']:.1f}x; "
+            f"compile {r['compile_ms']:.1f} ms)"
+        )
+        with tel.span("bench.evaluator_backward", design=name) as sp:
+            r = bench_evaluator_backward(netlist, forest, repeats=repeats)
+            sp.annotate(
+                closure_ms=r["closure_ms"], tape_ms=r["tape_ms"], speedup=r["speedup"]
+            )
+        report["kernels"]["evaluator_backward"][name] = r
+        log(
+            f"[bench] {name} evaluator_backward: closure {r['closure_ms']:.2f} ms, "
+            f"tape {r['tape_ms']:.2f} ms  ({r['speedup']:.1f}x)"
+        )
+        with tel.span("bench.refine_iter", design=name) as sp:
+            r = bench_refine_iter(netlist, forest)
+            sp.annotate(
+                closure_ms_per_iter=r["closure_ms_per_iter"],
+                tape_ms_per_iter=r["tape_ms_per_iter"],
+                speedup=r["speedup"],
+            )
+        report["kernels"]["refine_iter"][name] = r
+        log(
+            f"[bench] {name} refine_iter: closure {r['closure_ms_per_iter']:.1f} ms/iter, "
+            f"tape {r['tape_ms_per_iter']:.1f} ms/iter  ({r['speedup']:.1f}x warm, "
+            f"{r['speedup_cold']:.1f}x cold)"
         )
     return report
 
@@ -262,6 +456,8 @@ _SPEEDUP_FIELDS = {
     "full_sta": ("speedup",),
     "incremental": ("speedup_vs_reference",),
     "evaluator": ("speedup",),
+    "evaluator_backward": ("speedup",),
+    "refine_iter": ("speedup",),
 }
 
 

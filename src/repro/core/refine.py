@@ -165,22 +165,63 @@ class RefinementResult:
 
 
 class _Oracle:
-    """Caches the evaluator forward/backward machinery for one design."""
+    """Caches the evaluator forward/backward machinery for one design.
 
-    def __init__(self, model: TimingEvaluator, graph: TimingGraph, telemetry=None) -> None:
+    Dispatches on ``model.kernel`` (mirroring ``STAEngine``): "tape"
+    replays the compiled instruction tape cached on the graph's
+    topology cache (falling back to closures when the graph cannot be
+    compiled), "closure" always runs the reference engine, and
+    "tape-parity" runs both and raises on any bitwise divergence.
+    """
+
+    def __init__(
+        self,
+        model: TimingEvaluator,
+        graph: TimingGraph,
+        telemetry=None,
+        gamma: Optional[float] = None,
+    ) -> None:
         self.model = model
         self.graph = graph
         self.endpoints = graph.endpoints
         self.required = graph.required
         self.telemetry = telemetry
+        self.gamma = float(gamma) if gamma is not None else PenaltyConfig().gamma
+        self.kernel = getattr(model, "kernel", "closure")
 
     def _tel(self):
         return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    def _compiled(self):
+        from repro.timing_model.compiled import get_compiled_objective
+
+        return get_compiled_objective(
+            self.model, self.graph, self.gamma, telemetry=self._tel()
+        )
 
     def gradient(
         self, coords: np.ndarray, pcfg: PenaltyConfig
     ) -> Tuple[np.ndarray, float, float, float]:
         """(dP/dcoords, evaluated WNS, evaluated TNS, penalty) at ``coords``."""
+        obj = self._compiled() if self.kernel in ("tape", "tape-parity") else None
+        if obj is None:
+            return self._closure_gradient(coords, pcfg)
+        grad, arrival, penalty = obj.gradient(coords, pcfg)
+        self._tel().count("evaluator.backward")
+        wns, tns, _ = hard_metrics(arrival, self.endpoints, self.required)
+        if self.kernel == "tape-parity":
+            from repro.timing_model.compiled import assert_bitwise_equal
+
+            ref = self._closure_gradient(coords, pcfg)
+            assert_bitwise_equal("gradient", grad, ref[0])
+            assert_bitwise_equal("wns", wns, ref[1])
+            assert_bitwise_equal("tns", tns, ref[2])
+            assert_bitwise_equal("penalty", penalty, ref[3])
+        return grad, wns, tns, float(penalty)
+
+    def _closure_gradient(
+        self, coords: np.ndarray, pcfg: PenaltyConfig
+    ) -> Tuple[np.ndarray, float, float, float]:
         t_coords = Tensor(coords, requires_grad=True)
         out = self.model(self.graph, t_coords)
         penalty, _, _ = smoothed_penalty(out["arrival"], self.endpoints, self.required, pcfg)
@@ -191,6 +232,20 @@ class _Oracle:
         return np.asarray(grad, dtype=np.float64), wns, tns, float(penalty.item())
 
     def evaluate(self, coords: np.ndarray) -> Tuple[float, float]:
+        obj = self._compiled() if self.kernel in ("tape", "tape-parity") else None
+        if obj is None:
+            return self._closure_evaluate(coords)
+        arrival = obj.evaluate(coords)
+        wns, tns, _ = hard_metrics(arrival, self.endpoints, self.required)
+        if self.kernel == "tape-parity":
+            from repro.timing_model.compiled import assert_bitwise_equal
+
+            ref = self._closure_evaluate(coords)
+            assert_bitwise_equal("eval_wns", wns, ref[0])
+            assert_bitwise_equal("eval_tns", tns, ref[1])
+        return wns, tns
+
+    def _closure_evaluate(self, coords: np.ndarray) -> Tuple[float, float]:
         arrival = self.model.predict_arrivals(self.graph, coords)
         wns, tns, _ = hard_metrics(arrival, self.endpoints, self.required)
         return wns, tns
@@ -267,7 +322,7 @@ def refine(
             f"{graph.num_steiner} Steiner nodes"
         )
     clamp = clamp_fn or (lambda c: c)
-    oracle = _Oracle(model, graph, telemetry=tel)
+    oracle = _Oracle(model, graph, telemetry=tel, gamma=cfg.penalty.gamma)
     use_validator = cfg.acceptance == "hybrid" and validator is not None
     degraded = False
     skipped_steps = 0

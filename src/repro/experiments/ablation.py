@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.core.penalty import PenaltyConfig
 from repro.core.refine import RefinementConfig
 from repro.experiments.common import ExperimentConfig, format_table, get_context
-from repro.flow.pipeline import run_routing_flow
+from repro.experiments.parallel import ablation_variant, export_evaluator, parallel_map
 
 
 @dataclass
@@ -50,17 +50,23 @@ def _variants(base: RefinementConfig) -> Dict[str, RefinementConfig]:
 def run(
     config: Optional[ExperimentConfig] = None,
     design: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     ctx = get_context(config)
     cfg = ctx.config
     name = design or cfg.designs[0]
-    netlist, forest = ctx.design(name)
     base_result = ctx.baseline(name)
-    model = ctx.model()
+    evaluator = export_evaluator(ctx, jobs)
 
+    variants = _variants(cfg.refinement_config())
+    flows = parallel_map(
+        ablation_variant,
+        [(cfg, name, label, rcfg, evaluator) for label, rcfg in variants.items()],
+        jobs=jobs,
+        label="ablation_variants",
+    )
     rows: List[AblationRow] = []
-    for label, rcfg in _variants(cfg.refinement_config()).items():
-        flow = run_routing_flow(netlist, forest, model=model, refinement_config=rcfg)
+    for label, flow in zip(variants, flows):
         ref = flow.refinement
         rows.append(
             AblationRow(

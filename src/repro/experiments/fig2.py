@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.experiments.common import ExperimentConfig, format_table, get_context
-from repro.flow.baseline import random_move_trials
+from repro.experiments.parallel import design_random_trials, parallel_map
 
 
 @dataclass
@@ -34,20 +34,18 @@ class Fig2Result:
         return float(arr.std()) if arr.size else 0.0
 
 
-def run(config: Optional[ExperimentConfig] = None) -> Fig2Result:
+def run(config: Optional[ExperimentConfig] = None, jobs: Optional[int] = None) -> Fig2Result:
     ctx = get_context(config)
     cfg = ctx.config
-    ratios: Dict[str, List[float]] = {}
-    for name in cfg.designs:
-        netlist, forest = ctx.design(name)
-        stats = random_move_trials(
-            netlist,
-            forest,
-            ctx.baseline(name),
-            trials=cfg.random_trials,
-            seed=cfg.seed,
-        )
-        ratios[name] = stats.tns_ratios
+    all_stats = parallel_map(
+        design_random_trials,
+        [(cfg, name, cfg.seed) for name in cfg.designs],
+        jobs=jobs,
+        label="fig2_designs",
+    )
+    ratios: Dict[str, List[float]] = {
+        name: stats.tns_ratios for name, stats in zip(cfg.designs, all_stats)
+    }
     return Fig2Result(ratios=ratios)
 
 

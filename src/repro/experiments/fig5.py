@@ -14,8 +14,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.experiments.common import ExperimentConfig, format_table, get_context
-from repro.experiments.fig2 import run as run_fig2
-from repro.flow.baseline import random_move_trials
+from repro.experiments.fig2 import run as run_fig2  # noqa: F401 (re-export)
+from repro.experiments.parallel import (
+    design_flow_pair,
+    design_random_trials,
+    export_evaluator,
+    parallel_map,
+)
 
 
 @dataclass
@@ -30,24 +35,32 @@ class Fig5Result:
         return float(np.mean(list(data.values()))) if data else 1.0
 
 
-def run(config: Optional[ExperimentConfig] = None) -> Fig5Result:
+def run(config: Optional[ExperimentConfig] = None, jobs: Optional[int] = None) -> Fig5Result:
     ctx = get_context(config)
     cfg = ctx.config
+    names = list(cfg.designs)
+    evaluator = export_evaluator(ctx, jobs)
+    pairs = parallel_map(
+        design_flow_pair,
+        [(cfg, name, evaluator) for name in names],
+        jobs=jobs,
+        label="fig5_flows",
+    )
+    all_stats = parallel_map(
+        design_random_trials,
+        [(cfg, name, cfg.seed + 1) for name in names],
+        jobs=jobs,
+        label="fig5_random",
+    )
     ts_wns: Dict[str, float] = {}
     ts_tns: Dict[str, float] = {}
     rnd_wns: Dict[str, float] = {}
     rnd_tns: Dict[str, float] = {}
-    for name in cfg.designs:
-        base = ctx.baseline(name)
-        opt = ctx.optimized(name)
+    for name, (base, opt), stats in zip(names, pairs, all_stats):
         if abs(base.wns) > 1e-9:
             ts_wns[name] = opt.wns / base.wns
         if abs(base.tns) > 1e-9:
             ts_tns[name] = opt.tns / base.tns
-        netlist, forest = ctx.design(name)
-        stats = random_move_trials(
-            netlist, forest, base, trials=cfg.random_trials, seed=cfg.seed + 1
-        )
         rnd_wns[name] = stats.mean_wns_ratio
         rnd_tns[name] = stats.mean_tns_ratio
     return Fig5Result(ts_wns, ts_tns, rnd_wns, rnd_tns)

@@ -1,0 +1,253 @@
+"""Process-pool experiment runner: fan per-design work across workers.
+
+Every table/figure driver loops over independent designs (or ablation
+variants); on a multi-core host those iterations can run in separate
+processes.  :func:`parallel_map` is the shared fan-out primitive:
+
+* **Deterministic ordering** — results come back in item order no
+  matter which worker finished first, and a serial run produces the
+  exact same list (the ``--jobs 2`` parity test in
+  ``tests/test_parallel.py`` asserts equality).
+* **Telemetry stitching** — each worker records its own JSONL trace;
+  the parent replays those events into its own run (tagged with a
+  ``worker`` index, span ids renumbered per worker) and merges the
+  workers' metric registries via :meth:`Telemetry.merge_metrics`, so
+  ``python -m repro report`` sees one coherent trace.
+* **Graceful serial fallback** — anything that prevents fan-out (an
+  unpicklable task, a broken pool, a sandbox without working
+  subprocesses) degrades to the in-process loop with a
+  ``parallel_fallback`` event instead of failing the artifact.
+
+Workers are full processes: they rebuild their own
+:class:`~repro.experiments.common.ExperimentContext` from the (picklable)
+config.  The one artifact that must not be recomputed per worker is the
+trained evaluator — :func:`export_evaluator` saves the parent's model
+once and workers load it via the existing npz serialization.
+
+The ``--jobs N`` flag on ``python -m repro`` (and ``jobs=`` on each
+driver's ``run``) selects the worker count; ``N <= 1`` is serial,
+``N = 0`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import Telemetry, get_telemetry, telemetry_session
+
+#: Span ids from worker ``i`` are shifted into this worker's band when
+#: stitched into the parent trace, so they cannot collide with parent
+#: span ids or with other workers'.
+_SPAN_BAND = 1_000_000
+
+_default_jobs = 1
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Install the process-wide default worker count (``--jobs``)."""
+    global _default_jobs
+    _default_jobs = 1 if jobs is None else int(jobs)
+
+
+def get_default_jobs() -> int:
+    return _default_jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else the ``--jobs`` default.
+
+    ``0`` (or negative) means "one worker per CPU".
+    """
+    n = _default_jobs if jobs is None else int(jobs)
+    if n <= 0:
+        n = os.cpu_count() or 1
+    return n
+
+
+# ----------------------------------------------------------------------
+# Worker entry + trace stitching
+# ----------------------------------------------------------------------
+def _worker(task: Tuple[Callable[[Any], Any], Any, int, Optional[str], str]):
+    """Top-level (hence picklable) worker: run one item under its own trace."""
+    fn, item, index, trace_path, run_id = task
+    if trace_path is None:
+        return index, fn(item)
+    with Telemetry(path=trace_path, run_id=run_id) as tel:
+        with telemetry_session(tel):
+            result = fn(item)
+    return index, result
+
+
+def _stitch_trace(tel, worker_index: int, trace_path: str) -> None:
+    """Replay one worker's JSONL trace into the parent telemetry run.
+
+    Lifecycle events are dropped (the parent run has its own), the
+    final ``metrics`` event is merged into the parent registry, and
+    span ids are renumbered into a per-worker band so the stitched
+    trace still forms one consistent span forest.
+    """
+    offset = (worker_index + 1) * _SPAN_BAND
+    try:
+        fh = open(trace_path, "r", encoding="utf-8")
+    except OSError:
+        return
+    with fh:
+        for line in fh:
+            try:
+                rec = dict(json.loads(line))
+            except ValueError:
+                continue
+            kind = rec.pop("kind", None)
+            for reserved in ("run", "seq", "t"):
+                rec.pop(reserved, None)
+            if kind in (None, "run_start", "run_end"):
+                continue
+            if kind == "metrics":
+                tel.merge_metrics(rec)
+                continue
+            for key in ("span", "parent"):
+                if isinstance(rec.get(key), int):
+                    rec[key] = rec[key] + offset
+            rec.pop("worker", None)
+            tel.event(kind, worker=worker_index, **rec)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int] = None,
+    label: str = "parallel_map",
+) -> List[Any]:
+    """``[fn(item) for item in items]``, fanned across worker processes.
+
+    ``fn`` must be a module-level callable and ``fn(item)`` picklable —
+    the per-design task functions below qualify.  Results are returned
+    in item order.  With an effective job count of one (or one item)
+    the loop runs in-process under the parent telemetry; pool-level
+    failures fall back to the same serial loop.  Exceptions raised by
+    ``fn`` itself propagate unchanged, exactly as in a serial run.
+    """
+    items = list(items)
+    n = min(resolve_jobs(jobs), len(items))
+    if n <= 1:
+        return [fn(item) for item in items]
+    tel = get_telemetry()
+    run_id = tel.run_id or "run"
+    results: List[Any] = [None] * len(items)
+    tmpdir = tempfile.mkdtemp(prefix="repro-parallel-")
+    try:
+        tasks = []
+        for i, item in enumerate(items):
+            trace = os.path.join(tmpdir, f"worker-{i:03d}.jsonl") if tel.enabled else None
+            tasks.append((fn, item, i, trace, f"{run_id}-w{i}"))
+        try:
+            with tel.span(label, jobs=n, tasks=len(items)):
+                with ProcessPoolExecutor(max_workers=n) as pool:
+                    for index, value in pool.map(_worker, tasks):
+                        results[index] = value
+                for _, _, i, trace, _ in tasks:
+                    if trace is not None:
+                        _stitch_trace(tel, i, trace)
+        except (pickle.PicklingError, AttributeError, TypeError, BrokenProcessPool, OSError) as exc:
+            # Could not fan out (unpicklable task, no subprocesses, dead
+            # pool): degrade to the serial loop the caller would have run.
+            if tel.enabled:
+                tel.count("parallel.fallbacks")
+                tel.event(
+                    "parallel_fallback",
+                    label=label,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            return [fn(item) for item in items]
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    if tel.enabled:
+        tel.count("parallel.maps")
+        tel.count("parallel.tasks", len(items))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Shared per-design task functions (module-level: picklable)
+# ----------------------------------------------------------------------
+_export_dir: Optional[str] = None
+
+
+def export_evaluator(ctx, jobs: Optional[int] = None) -> Optional[str]:
+    """Train (or fetch) the context's evaluator and save it for workers.
+
+    Returns the npz path to embed in task payloads, or ``None`` when
+    the effective job count is serial — workers then share the parent
+    process and its cached model, so nothing needs to be written.
+    """
+    global _export_dir
+    if resolve_jobs(jobs) <= 1:
+        return None
+    from repro.timing_model.serialize import save_evaluator
+
+    if _export_dir is None:
+        _export_dir = tempfile.mkdtemp(prefix="repro-evaluator-")
+        atexit.register(shutil.rmtree, _export_dir, ignore_errors=True)
+    path = Path(_export_dir) / f"evaluator-{id(ctx):x}.npz"
+    if not path.exists():
+        save_evaluator(ctx.model(), path)
+    return str(path)
+
+
+def _context_for(config, evaluator_path: Optional[str]):
+    """Worker-side context; loads the shipped evaluator instead of training."""
+    from repro.experiments.common import get_context
+    from repro.timing_model.serialize import load_evaluator
+
+    ctx = get_context(config)
+    if evaluator_path is not None and ctx._model is None:
+        ctx._model = load_evaluator(evaluator_path)
+    return ctx
+
+
+def design_stats(payload):
+    """(config, name) -> NetlistStats for one design (Table I)."""
+    config, name = payload
+    from repro.netlist.stats import collect_stats
+
+    ctx = _context_for(config, None)
+    netlist, forest = ctx.design(name)
+    return collect_stats(netlist, forest)
+
+
+def design_flow_pair(payload):
+    """(config, name, evaluator_path) -> (baseline, optimized) FlowResults."""
+    config, name, evaluator_path = payload
+    ctx = _context_for(config, evaluator_path)
+    return ctx.baseline(name), ctx.optimized(name)
+
+
+def design_random_trials(payload):
+    """(config, name, seed) -> DisturbanceStats for one design (Figs. 2/5)."""
+    config, name, seed = payload
+    from repro.flow.baseline import random_move_trials
+
+    ctx = _context_for(config, None)
+    netlist, forest = ctx.design(name)
+    return random_move_trials(
+        netlist, forest, ctx.baseline(name), trials=config.random_trials, seed=seed
+    )
+
+
+def ablation_variant(payload):
+    """(config, design, label, refinement_config, evaluator_path) -> FlowResult."""
+    config, name, _label, rcfg, evaluator_path = payload
+    from repro.flow.pipeline import run_routing_flow
+
+    ctx = _context_for(config, evaluator_path)
+    netlist, forest = ctx.design(name)
+    return run_routing_flow(netlist, forest, model=ctx.model(), refinement_config=rcfg)

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.experiments.common import ExperimentConfig, format_table, get_context
-from repro.netlist.stats import NetlistStats, aggregate_stats, collect_stats
+from repro.experiments.parallel import design_stats, parallel_map
+from repro.netlist.stats import NetlistStats, aggregate_stats
 
 
 @dataclass
@@ -21,16 +22,15 @@ class Table1Result:
     total_test: NetlistStats
 
 
-def run(config: Optional[ExperimentConfig] = None) -> Table1Result:
+def run(config: Optional[ExperimentConfig] = None, jobs: Optional[int] = None) -> Table1Result:
     ctx = get_context(config)
     cfg = ctx.config
-    rows: List[NetlistStats] = []
+    rows = parallel_map(
+        design_stats, [(cfg, name) for name in cfg.designs], jobs=jobs, label="table1_designs"
+    )
     train_rows: List[NetlistStats] = []
     test_rows: List[NetlistStats] = []
-    for name in cfg.designs:
-        netlist, forest = ctx.design(name)
-        stats = collect_stats(netlist, forest)
-        rows.append(stats)
+    for name, stats in zip(cfg.designs, rows):
         (train_rows if name in cfg.train_designs else test_rows).append(stats)
     return Table1Result(
         rows=rows,

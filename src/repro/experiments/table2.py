@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.experiments.parallel import design_flow_pair, export_evaluator, parallel_map
 from repro.flow.pipeline import FlowResult
 
 
@@ -78,12 +79,17 @@ class Table2Result:
         return 1.0 - self.average_ratios()["tns_ratio"]
 
 
-def run(config: Optional[ExperimentConfig] = None) -> Table2Result:
+def run(config: Optional[ExperimentConfig] = None, jobs: Optional[int] = None) -> Table2Result:
     ctx = get_context(config)
-    rows = [
-        Table2Row(name, ctx.baseline(name), ctx.optimized(name))
-        for name in ctx.config.designs
-    ]
+    names = list(ctx.config.designs)
+    evaluator = export_evaluator(ctx, jobs)
+    pairs = parallel_map(
+        design_flow_pair,
+        [(ctx.config, name, evaluator) for name in names],
+        jobs=jobs,
+        label="table2_designs",
+    )
+    rows = [Table2Row(name, base, opt) for name, (base, opt) in zip(names, pairs)]
     return Table2Result(rows=rows)
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.experiments.parallel import design_flow_pair, export_evaluator, parallel_map
 
 
 @dataclass
@@ -48,12 +49,18 @@ class Table4Result:
         }
 
 
-def run(config: Optional[ExperimentConfig] = None) -> Table4Result:
+def run(config: Optional[ExperimentConfig] = None, jobs: Optional[int] = None) -> Table4Result:
     ctx = get_context(config)
+    names = list(ctx.config.designs)
+    evaluator = export_evaluator(ctx, jobs)
+    pairs = parallel_map(
+        design_flow_pair,
+        [(ctx.config, name, evaluator) for name in names],
+        jobs=jobs,
+        label="table4_designs",
+    )
     rows: List[Table4Row] = []
-    for name in ctx.config.designs:
-        base = ctx.baseline(name)
-        opt = ctx.optimized(name)
+    for name, (base, opt) in zip(names, pairs):
         rows.append(
             Table4Row(
                 name=name,

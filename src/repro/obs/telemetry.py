@@ -160,6 +160,16 @@ class _Hist:
             "max": self.max if self.count else 0.0,
         }
 
+    def merge(self, summary: Dict[str, float]) -> None:
+        """Fold another histogram's count/sum/min/max summary into this one."""
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(summary.get("sum", 0.0))
+        self.min = min(self.min, float(summary.get("min", self.min)))
+        self.max = max(self.max, float(summary.get("max", self.max)))
+
 
 class Span:
     """One hierarchical timed region; use as a context manager."""
@@ -305,6 +315,24 @@ class Telemetry:
         if h is None:
             h = self._hists[name] = _Hist()
         h.add(float(value))
+
+    def merge_metrics(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another run's metrics snapshot into this registry.
+
+        Used by the parallel experiment runner to stitch per-worker
+        metric registries into the parent run: counters add, gauges
+        take the incoming value (last writer wins, as with
+        :meth:`gauge`), histogram summaries merge count/sum/min/max.
+        """
+        for name, n in (snapshot.get("counters") or {}).items():
+            self.count(name, int(n))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name, value)
+        for name, summary in (snapshot.get("hists") or {}).items():
+            h = self._hists.get(name)
+            if h is None:
+                h = self._hists[name] = _Hist()
+            h.merge(summary)
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Current aggregated metrics (what ``close`` will emit)."""

@@ -70,6 +70,15 @@ class TimingEvaluator(nn.Module):
     N_CELL_FEATS = 4  # from TimingGraph.cell_feat
     N_START_FEATS = 2  # PI vs register launch
 
+    #: Execution kernel for the hot forward/gradient paths (mirrors
+    #: ``STAEngine.default_kernel``): "tape" replays a compiled
+    #: instruction tape (fast path; falls back transparently when a
+    #: graph uses an op the compiler does not know), "closure" runs the
+    #: reference closure-graph engine, "tape-parity" runs both and
+    #: raises on any bitwise mismatch.  Class attribute — override per
+    #: instance to pin a kernel.
+    kernel = "tape"
+
     def __init__(self, config: Optional[EvaluatorConfig] = None) -> None:
         cfg = config or EvaluatorConfig()
         self.config = cfg
@@ -292,21 +301,16 @@ class TimingEvaluator(nn.Module):
         n = pos.shape[0]
         if field is None or graph.gcell_size <= 0:
             return Tensor(np.zeros(n))
-        nx, ny = field.shape
         g = graph.gcell_size
         # Continuous cell coordinates with centers at k + 0.5.
         cx = pos[:, 0] * (1.0 / g) - 0.5
         cy = pos[:, 1] * (1.0 / g) - 0.5
-        ix = np.clip(np.floor(cx.data).astype(np.int64), 0, max(nx - 2, 0))
-        iy = np.clip(np.floor(cy.data).astype(np.int64), 0, max(ny - 2, 0))
-        fx = (cx - Tensor(ix.astype(np.float64))).clip(0.0, 1.0)
-        fy = (cy - Tensor(iy.astype(np.float64))).clip(0.0, 1.0)
-        ix2 = np.minimum(ix + 1, nx - 1)
-        iy2 = np.minimum(iy + 1, ny - 1)
-        c00 = Tensor(field[ix, iy])
-        c10 = Tensor(field[ix2, iy])
-        c01 = Tensor(field[ix, iy2])
-        c11 = Tensor(field[ix2, iy2])
+        # Cell corners and gathered values are detached recompute nodes
+        # (piecewise constant in pos — no gradient; re-derived from the
+        # live coordinates when this forward is replayed from a tape).
+        ixf, iyf, c00, c10, c01, c11 = F.bilinear_parts(field, cx, cy)
+        fx = (cx - ixf).clip(0.0, 1.0)
+        fy = (cy - iyf).clip(0.0, 1.0)
         one = Tensor(np.ones(n))
         return (
             c00 * (one - fx) * (one - fy)

@@ -25,6 +25,8 @@ class TestCompareReports:
                 "full_sta": {"des3": {"speedup": speedup}},
                 "incremental": {"des3": {"speedup_vs_reference": speedup}},
                 "evaluator": {"des3": {"speedup": speedup}},
+                "evaluator_backward": {"des3": {"speedup": speedup}},
+                "refine_iter": {"des3": {"speedup": speedup}},
             }
         }
 
@@ -39,8 +41,10 @@ class TestCompareReports:
     def test_regression_flagged(self):
         base = self._report(10.0)
         problems = compare_reports(self._report(7.4), base, tolerance=0.25)
-        assert len(problems) == 3
+        assert len(problems) == 5
         assert any("full_sta/des3" in p for p in problems)
+        assert any("refine_iter/des3" in p for p in problems)
+        assert any("evaluator_backward/des3" in p for p in problems)
 
     def test_disjoint_designs_ignored(self):
         new = {"kernels": {"full_sta": {"spm": {"speedup": 1.0}}}}
@@ -57,9 +61,20 @@ def test_baseline_report_is_committed():
     assert BASELINE.exists(), "BENCH_timing.json missing — run python -m repro.bench --out BENCH_timing.json"
     report = load_report(BASELINE)
     kernels = report["kernels"]
-    # Acceptance criteria of the perf PR, recorded on des3:
+    # Acceptance criteria of the perf PRs, recorded on des3:
     assert kernels["full_sta"]["des3"]["speedup"] >= 3.0
     assert kernels["incremental"]["des3"]["speedup_vs_reference"] >= 5.0
+    # Tape-executor PR: end-to-end refine() >= 3x with a warm tape, and
+    # the tape trajectory matched the closure reference bit for bit.
+    assert kernels["refine_iter"]["des3"]["speedup"] >= 3.0
+    for design, row in kernels["refine_iter"].items():
+        assert row["trajectory_bitwise_equal"] == 1.0, design
+    for design, row in kernels["evaluator_backward"].items():
+        assert row["grad_bitwise_equal"] == 1.0, design
+    # The evaluator speedup is fast-kernel vs reference-kernel (tape vs
+    # closure), not warm-vs-cold of one kernel.
+    for design, row in kernels["evaluator"].items():
+        assert {"closure_ms", "tape_ms", "compile_ms"} <= set(row), design
 
 
 @pytest.mark.bench_smoke

@@ -1,0 +1,167 @@
+"""Process-pool experiment runner tests (``repro.experiments.parallel``).
+
+The runner's contract: ``--jobs N`` changes wall-clock only — results
+come back in item order, formatted artifacts are byte-identical to a
+serial run, worker telemetry is stitched into the parent trace, and
+anything that prevents fan-out degrades to the serial loop.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    get_default_jobs,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.obs import Telemetry, get_telemetry, telemetry_session
+
+
+def _square(x):
+    return x * x
+
+
+def _traced_square(x):
+    tel = get_telemetry()
+    tel.count("test.calls")
+    tel.gauge("test.last", x)
+    with tel.span("test.square", item=x):
+        pass
+    return x * x
+
+
+def _mini_config():
+    from repro.experiments.common import ExperimentConfig
+
+    return ExperimentConfig(
+        designs=("spm", "cic_decimator"),
+        train_designs=("spm",),
+        random_trials=2,
+        train_epochs=2,
+        refinement_iterations=2,
+    )
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs() == get_default_jobs() or get_default_jobs() <= 0
+
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_per_cpu(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_set_default(self):
+        saved = get_default_jobs()
+        try:
+            set_default_jobs(4)
+            assert resolve_jobs() == 4
+        finally:
+            set_default_jobs(saved)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_pool_preserves_item_order(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, jobs=2) == [i * i for i in items]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+    def test_unpicklable_fn_falls_back_to_serial(self, tmp_path):
+        with Telemetry(path=str(tmp_path / "t.jsonl")) as tel:
+            with telemetry_session(tel):
+                out = parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2)
+            snap = tel.metrics_snapshot()
+        assert out == [2, 3, 4]
+        assert snap["counters"]["parallel.fallbacks"] == 1
+        events = [json.loads(l) for l in (tmp_path / "t.jsonl").read_text().splitlines()]
+        assert any(e["kind"] == "parallel_fallback" for e in events)
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise ValueError(f"bad item {x}")
+
+        # Serial path: raises directly.
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1], jobs=1)
+
+    def test_worker_traces_stitched(self, tmp_path):
+        with Telemetry(path=str(tmp_path / "t.jsonl")) as tel:
+            with telemetry_session(tel):
+                out = parallel_map(_traced_square, [3, 4], jobs=2)
+            snap = tel.metrics_snapshot()
+        assert out == [9, 16]
+        # Worker counters merged into the parent registry.
+        assert snap["counters"]["test.calls"] == 2
+        assert snap["counters"]["parallel.maps"] == 1
+        assert snap["counters"]["parallel.tasks"] == 2
+        events = [json.loads(l) for l in (tmp_path / "t.jsonl").read_text().splitlines()]
+        spans = [e for e in events if e["kind"] == "span_start" and e.get("name") == "test.square"]
+        assert len(spans) == 2
+        assert sorted(e["worker"] for e in spans) == [0, 1]
+        # Span ids renumbered into disjoint per-worker bands.
+        ids = [e["span"] for e in spans]
+        assert len(set(i // 1_000_000 for i in ids)) == 2
+        # Worker lifecycle events are dropped, not duplicated.
+        assert sum(1 for e in events if e["kind"] == "run_start") == 1
+
+
+class TestMergeMetrics:
+    def test_counters_gauges_hists(self, tmp_path):
+        with Telemetry(path=str(tmp_path / "t.jsonl")) as tel:
+            tel.count("c", 2)
+            tel.gauge("g", 1.0)
+            tel.hist("h", 1.0)
+            tel.hist("h", 3.0)
+            tel.merge_metrics(
+                {
+                    "counters": {"c": 3, "new": 1},
+                    "gauges": {"g": 9.0},
+                    "hists": {"h": {"count": 2, "sum": 10.0, "min": 4.0, "max": 6.0}},
+                }
+            )
+            snap = tel.metrics_snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["counters"]["new"] == 1
+        assert snap["gauges"]["g"] == 9.0
+        h = snap["hists"]["h"]
+        assert h["count"] == 4
+        assert h["sum"] == 14.0
+        assert h["min"] == 1.0
+        assert h["max"] == 6.0
+
+
+@pytest.mark.slow
+class TestJobsParity:
+    """``--jobs 2`` must render byte-identical artifacts to serial."""
+
+    def test_table1_parity(self):
+        from repro.experiments import table1
+
+        cfg = _mini_config()
+        serial = table1.format_result(table1.run(cfg, jobs=1))
+        fanned = table1.format_result(table1.run(cfg, jobs=2))
+        assert serial == fanned
+
+    def test_fig2_parity(self):
+        from repro.experiments import fig2
+
+        cfg = _mini_config()
+        serial = fig2.format_result(fig2.run(cfg, jobs=1))
+        fanned = fig2.format_result(fig2.run(cfg, jobs=2))
+        assert serial == fanned
+
+    def test_table2_parity(self):
+        from repro.experiments import table2
+
+        cfg = _mini_config()
+        serial = table2.format_result(table2.run(cfg, jobs=1))
+        fanned = table2.format_result(table2.run(cfg, jobs=2))
+        assert serial == fanned
