@@ -9,6 +9,7 @@ Usage::
     python -m repro table2 --resume   # continue a killed run
     python -m repro table2 --trace run.jsonl --verbose
     python -m repro report run.jsonl  # summarize a telemetry trace
+    python -m repro table1 --corners typ,slow_setup,fast_hold  # MCMM
 
 Profiles: quick (default, four designs), full (ten designs at half
 scale), paper (the complete reproduction — slow).
@@ -30,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import sys
 import traceback
 
@@ -122,6 +124,22 @@ def main(argv=None) -> int:
         "bit-identical to a serial run (docs/PERFORMANCE.md)",
     )
     parser.add_argument(
+        "--corners",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated MCMM corner names for the optimized flow "
+        "arm (see repro.pdk.PRESET_CORNERS; e.g. "
+        "'typ,slow_setup,fast_hold'); default 'typ' keeps the "
+        "single-scenario path (docs/MCMM.md)",
+    )
+    parser.add_argument(
+        "--mode",
+        default=None,
+        metavar="NAME",
+        help="MCMM operating mode crossed with --corners "
+        "(see repro.mcmm.PRESET_MODES; default 'func')",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -149,6 +167,19 @@ def main(argv=None) -> int:
         parser.error("usage: python -m repro report <trace.jsonl> [...]")
     setup_logging(args.verbose - args.quiet)
     config = _PROFILES[args.profile]()
+    if args.corners is not None or args.mode is not None:
+        overrides = {}
+        if args.corners is not None:
+            overrides["corners"] = tuple(
+                c.strip() for c in args.corners.split(",") if c.strip()
+            )
+        if args.mode is not None:
+            overrides["mode"] = args.mode
+        config = dataclasses.replace(config, **overrides)
+        try:
+            config.scenario_set()  # fail fast on unknown corner/mode names
+        except KeyError as exc:
+            parser.error(exc.args[0])
 
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:

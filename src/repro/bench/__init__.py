@@ -6,6 +6,9 @@ a machine-readable report (``BENCH_timing.json``):
 * ``full_sta`` — one sign-off STA pass over a whole design: the
   reference per-net Python engine vs the flat CSR/batched-Elmore
   kernel (``STAEngine.run(kernel=...)``).
+* ``mcmm_sta`` — cross-scenario sign-off over the MCMM ``signoff``
+  preset: one scenario-batched :class:`~repro.mcmm.ScenarioSTA` pass
+  vs N independent single-scenario passes (docs/MCMM.md).
 * ``incremental`` — repeated sparse-move timing queries (the hybrid
   validator's workload): move a small fraction of Steiner points, ask
   for WNS/TNS, repeat.  Compares the reference engine, the full flat
@@ -166,6 +169,61 @@ def bench_incremental(
         "polish_flat_ms_per_query": flat_polish_s * 1e3,
         "polish_incremental_ms_per_query": inc_polish_s * 1e3,
         "polish_speedup_vs_flat": flat_polish_s / inc_polish_s,
+    }
+
+
+def bench_mcmm_sta(netlist, forest, repeats: int = 3) -> Dict[str, float]:
+    """Cross-scenario sign-off STA: batched vs independent per-scenario runs.
+
+    Times a full STA pass over the ``signoff`` scenario set (typ,
+    slow_setup, fast_hold) two ways: one scenario-batched
+    :class:`~repro.mcmm.ScenarioSTA` pass sharing the topology walk
+    across all scenarios, and N independent single-scenario passes.
+    Both sides use the same batched kernel (``force_batched``) so the
+    ratio isolates the cross-scenario sharing, and the per-scenario
+    metrics are asserted bitwise identical before any timing is
+    reported (docs/MCMM.md).
+    """
+    from repro.mcmm import ScenarioSTA, ScenarioSet
+
+    scenarios = ScenarioSet.signoff()
+    batched = ScenarioSTA(netlist, forest, scenarios, force_batched=True)
+    singles = [
+        ScenarioSTA(netlist, forest, ScenarioSet((sc,)), force_batched=True)
+        for sc in scenarios
+    ]
+
+    # Warm (levelization, flat build) and check parity once.
+    batched_report = batched.run()
+    single_metrics = [s.run().scenarios[0] for s in singles]
+    for got, want in zip(batched_report.scenarios, single_metrics):
+        if not (
+            got.wns == want.wns
+            and got.tns == want.tns
+            and np.array_equal(got.arrival, want.arrival, equal_nan=True)
+        ):
+            raise RuntimeError(
+                f"batched scenario {got.name} diverged from its "
+                f"independent run (wns {got.wns} vs {want.wns})"
+            )
+
+    def run_batched():
+        batched.invalidate()
+        batched.run()
+
+    def run_independent():
+        for s in singles:
+            s.invalidate()
+            s.run()
+
+    batched_s = _best(run_batched, repeats)
+    independent_s = _best(run_independent, repeats)
+    return {
+        "scenarios": float(len(scenarios)),
+        "independent_ms": independent_s * 1e3,
+        "batched_ms": batched_s * 1e3,
+        "speedup": independent_s / batched_s,
+        "metrics_bitwise_equal": 1.0,
     }
 
 
@@ -377,6 +435,7 @@ def run_benchmarks(
         "designs": list(designs),
         "kernels": {
             "full_sta": {},
+            "mcmm_sta": {},
             "incremental": {},
             "evaluator": {},
             "evaluator_backward": {},
@@ -396,6 +455,19 @@ def run_benchmarks(
         log(
             f"[bench] {name} full_sta: reference {r['reference_ms']:.2f} ms, "
             f"flat {r['flat_ms']:.2f} ms  ({r['speedup']:.1f}x)"
+        )
+        with tel.span("bench.mcmm_sta", design=name) as sp:
+            r = bench_mcmm_sta(netlist, forest, repeats=repeats)
+            sp.annotate(
+                independent_ms=r["independent_ms"],
+                batched_ms=r["batched_ms"],
+                speedup=r["speedup"],
+            )
+        report["kernels"]["mcmm_sta"][name] = r
+        log(
+            f"[bench] {name} mcmm_sta: {int(r['scenarios'])} scenarios, "
+            f"independent {r['independent_ms']:.2f} ms, "
+            f"batched {r['batched_ms']:.2f} ms  ({r['speedup']:.1f}x)"
         )
         with tel.span("bench.incremental", design=name) as sp:
             r = bench_incremental(
@@ -454,6 +526,7 @@ def run_benchmarks(
 #: Per-kernel speedup fields checked by :func:`compare_reports`.
 _SPEEDUP_FIELDS = {
     "full_sta": ("speedup",),
+    "mcmm_sta": ("speedup",),
     "incremental": ("speedup_vs_reference",),
     "evaluator": ("speedup",),
     "evaluator_backward": ("speedup",),

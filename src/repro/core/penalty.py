@@ -43,6 +43,24 @@ class PenaltyConfig:
         )
 
 
+def smoothed_from_slack(
+    slack: Tensor, config: PenaltyConfig
+) -> Tuple[Tensor, Tensor, Tensor]:
+    """(P_gamma, WNS_gamma, TNS_gamma) from an endpoint-slack tensor.
+
+    Shared by the single-scenario penalty below and the scenario-merged
+    MCMM penalty (repro.mcmm.penalty), which builds one slack tensor per
+    scenario and composes the per-scenario P_gamma terms.
+    """
+    neg_slack = -slack
+    wns_smooth = -F.logsumexp(neg_slack, gamma=config.gamma)
+    # max(0, -s) smoothed: gamma * log(1 + exp(-s/gamma)) == softplus
+    # with beta = 1/gamma evaluated at -s.
+    tns_smooth = -(F.softplus(neg_slack, beta=1.0 / config.gamma)).sum()
+    penalty = wns_smooth * config.lambda_wns + tns_smooth * config.lambda_tns
+    return penalty, wns_smooth, tns_smooth
+
+
 def smoothed_penalty(
     arrival: Tensor,
     endpoints: np.ndarray,
@@ -51,13 +69,7 @@ def smoothed_penalty(
 ) -> Tuple[Tensor, Tensor, Tensor]:
     """(P_gamma, WNS_gamma, TNS_gamma) — all differentiable scalars."""
     slack = Tensor(required) - arrival[np.asarray(endpoints, dtype=np.int64)]
-    neg_slack = -slack
-    wns_smooth = -F.logsumexp(neg_slack, gamma=config.gamma)
-    # max(0, -s) smoothed: gamma * log(1 + exp(-s/gamma)) == softplus
-    # with beta = 1/gamma evaluated at -s.
-    tns_smooth = -(F.softplus(neg_slack, beta=1.0 / config.gamma)).sum()
-    penalty = wns_smooth * config.lambda_wns + tns_smooth * config.lambda_tns
-    return penalty, wns_smooth, tns_smooth
+    return smoothed_from_slack(slack, config)
 
 
 def hard_metrics(

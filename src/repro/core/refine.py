@@ -128,6 +128,18 @@ class RefinementConfig:
     # (RefinementResult.degraded) instead of crashing Algorithm 1.
     validator_retries: int = 2
     validator_backoff: float = 0.0  # seconds before first retry, doubles
+    # ---- MCMM scenario merging (docs/MCMM.md) ----
+    # Temperature of the worst-over-scenarios LSE that merges the
+    # per-scenario Eq. (6) penalties into one gradient objective.
+    mcmm_gamma: float = 10.0
+    # Dominance pruning: a scenario whose WNS exceeds the merged WNS by
+    # more than ``mcmm_dominance_margin`` (ns) for ``mcmm_prune_after``
+    # consecutive accepted iterations is dropped from the merged
+    # gradient; every ``mcmm_recheck_every`` gradient evaluations all
+    # pruned scenarios are restored for a full re-check.
+    mcmm_prune_after: int = 3
+    mcmm_recheck_every: int = 10
+    mcmm_dominance_margin: float = 0.05
 
 
 @dataclass
@@ -257,6 +269,79 @@ class _Oracle:
             static.clear()
 
 
+class _ScenarioOracle:
+    """MCMM oracle: merged-over-scenarios metrics with the `_Oracle`
+    interface (docs/MCMM.md).
+
+    ``gradient``/``evaluate`` return MERGED (worst-WNS, summed-TNS)
+    metrics, so the Algorithm 1 accept/revert rule operates on the
+    sign-off verdict across all scenarios.  The gradient descends the
+    LSE-merged penalty over the dominance pruner's *active* scenarios;
+    hard metrics always score every scenario.  Runs the closure
+    autodiff engine only (the compiled tape is single-scenario).
+    """
+
+    def __init__(
+        self,
+        model: TimingEvaluator,
+        graph: TimingGraph,
+        scenarios,
+        cfg: "RefinementConfig",
+        telemetry=None,
+    ) -> None:
+        from repro.mcmm.penalty import ScenarioPenalty
+        from repro.mcmm.prune import DominancePruner
+
+        self.model = model
+        self.graph = graph
+        self.scenarios = scenarios
+        self.telemetry = telemetry
+        self.penalty = ScenarioPenalty(graph, scenarios, mcmm_gamma=cfg.mcmm_gamma)
+        self.pruner = DominancePruner(
+            scenarios.names,
+            prune_after=cfg.mcmm_prune_after,
+            recheck_every=cfg.mcmm_recheck_every,
+            margin=cfg.mcmm_dominance_margin,
+            telemetry=telemetry,
+        )
+        self.last_wns_vector: Optional[np.ndarray] = None
+
+    def _tel(self):
+        return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    def gradient(
+        self, coords: np.ndarray, pcfg: PenaltyConfig
+    ) -> Tuple[np.ndarray, float, float, float]:
+        self.pruner.tick()
+        t_coords = Tensor(coords, requires_grad=True)
+        out = self.model(self.graph, t_coords)
+        merged = self.penalty.merged_penalty(
+            out["arrival"], pcfg, active=self.pruner.active
+        )
+        merged.backward()
+        self._tel().count("evaluator.backward")
+        grad = t_coords.grad if t_coords.grad is not None else np.zeros_like(coords)
+        per_wns, _, m_wns, m_tns = self.penalty.hard_all(out["arrival"].numpy())
+        self.last_wns_vector = per_wns
+        return np.asarray(grad, dtype=np.float64), m_wns, m_tns, float(merged.item())
+
+    def evaluate(self, coords: np.ndarray) -> Tuple[float, float]:
+        arrival = self.model.predict_arrivals(self.graph, coords)
+        per_wns, _, m_wns, m_tns = self.penalty.hard_all(arrival)
+        self.last_wns_vector = per_wns
+        return m_wns, m_tns
+
+    def on_accept(self) -> None:
+        """Feed the accepted candidate's per-scenario WNS to the pruner."""
+        if self.last_wns_vector is not None:
+            self.pruner.observe(self.last_wns_vector)
+
+    def invalidate(self) -> None:
+        static = getattr(self.graph, "_static", None)
+        if static is not None:
+            static.clear()
+
+
 Validator = Callable[[np.ndarray], Tuple[float, float]]
 
 
@@ -290,6 +375,7 @@ def refine(
     checkpoint_every: int = 1,
     resume: bool = False,
     telemetry=None,
+    scenarios=None,
 ) -> RefinementResult:
     """Run Algorithm 1; returns the best coordinates found.
 
@@ -297,6 +383,13 @@ def refine(
     (typically ``forest.clamp_coords``); identity when omitted.
     ``validator`` maps coordinates to real (WNS, TNS) — required for
     ``acceptance="hybrid"``, ignored in ``"evaluator"`` mode.
+
+    MCMM (docs/MCMM.md): ``scenarios`` (a ``repro.mcmm.ScenarioSet``)
+    switches acceptance, gradients and reported metrics to the merged
+    worst-over-scenarios verdict; per-scenario WNS feeds dominance
+    pruning.  ``None`` or a one-element neutral set runs the original
+    single-scenario path bitwise-unchanged.  An MCMM validator should
+    return merged (WNS, TNS) — see ``TSteiner._make_validator``.
 
     Resilience (docs/RESILIENCE.md): an expired ``budget`` returns the
     best-so-far result flagged ``timed_out=True``; ``checkpoint_path``
@@ -322,7 +415,11 @@ def refine(
             f"{graph.num_steiner} Steiner nodes"
         )
     clamp = clamp_fn or (lambda c: c)
-    oracle = _Oracle(model, graph, telemetry=tel, gamma=cfg.penalty.gamma)
+    mcmm = scenarios is not None and not scenarios.is_single_neutral()
+    if mcmm:
+        oracle = _ScenarioOracle(model, graph, scenarios, cfg, telemetry=tel)
+    else:
+        oracle = _Oracle(model, graph, telemetry=tel, gamma=cfg.penalty.gamma)
     use_validator = cfg.acceptance == "hybrid" and validator is not None
     degraded = False
     skipped_steps = 0
@@ -372,6 +469,15 @@ def refine(
             raise CheckpointError(
                 f"checkpoint coords shape {np.asarray(ckpt['coords']).shape} does "
                 f"not match design shape {coords.shape}"
+            )
+        # Scenario state must survive resume exactly: a snapshot taken
+        # under one scenario set cannot seed a run under another.
+        ckpt_scen = meta.get("mcmm_scenarios")
+        run_scen = list(scenarios.names) if mcmm else None
+        if ckpt_scen != run_scen:
+            raise CheckpointError(
+                f"checkpoint scenario set {ckpt_scen} does not match this "
+                f"run's {run_scen}"
             )
         # Stitch this trace onto the interrupted run's trajectory: the
         # snapshot carries the run-id of the telemetry that wrote it.
@@ -453,6 +559,8 @@ def refine(
             so._m = np.array(ckpt["so_m"], dtype=np.float64, copy=True)
             so._v = np.array(ckpt["so_v"], dtype=np.float64, copy=True)
             so._t = int(ckpt["so_t"])
+        if mcmm:
+            oracle.pruner.load_state_arrays(ckpt)
         # A resumed run may hand us a live oracle/validator from the
         # interrupted attempt whose caches describe coordinates the
         # restored trajectory never visited — drop them.
@@ -509,15 +617,15 @@ def refine(
             arrays["so_m"] = so._m
             arrays["so_v"] = so._v
             arrays["so_t"] = so._t
-        atomic_save_npz(
-            checkpoint_path,
-            arrays,
-            meta={
-                "kind": _REFINE_CKPT_KIND,
-                "telemetry_run": tel.run_id,
-                "telemetry_schema": SCHEMA_VERSION,
-            },
-        )
+        meta = {
+            "kind": _REFINE_CKPT_KIND,
+            "telemetry_run": tel.run_id,
+            "telemetry_schema": SCHEMA_VERSION,
+        }
+        if mcmm:
+            arrays.update(oracle.pruner.state_arrays())
+            meta["mcmm_scenarios"] = list(scenarios.names)
+        atomic_save_npz(checkpoint_path, arrays, meta=meta)
         checkpoint_saves += 1
         tel.count("refine.checkpoint_saves")
 
@@ -637,6 +745,10 @@ def refine(
                     accepted += 1
                     step_accepted = True
                     pending_accepts += 1
+                    if mcmm:
+                        # Accepted candidate's per-scenario WNS drives
+                        # dominance pruning of the merged gradient.
+                        oracle.on_accept()
                     so.theta = min(so.theta * cfg.expand_on_accept, theta)
                     if use_validator and pending_accepts >= cfg.validate_every:
                         validate_candidate()

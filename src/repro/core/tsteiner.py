@@ -34,9 +34,15 @@ class TSteiner:
         self,
         model: TimingEvaluator,
         config: Optional[RefinementConfig] = None,
+        scenarios=None,
     ) -> None:
         self.model = model
         self.config = config or RefinementConfig()
+        # MCMM: a repro.mcmm.ScenarioSet makes refinement acceptance and
+        # hybrid validation scenario-merged (docs/MCMM.md).  None or a
+        # one-element neutral set keeps the single-scenario path
+        # bitwise-unchanged.
+        self.scenarios = scenarios
 
     def optimize(
         self,
@@ -87,11 +93,12 @@ class TSteiner:
                 forest.get_steiner_coords(),
                 config=self.config,
                 clamp_fn=forest.clamp_coords,
-                validator=self._make_validator(netlist, forest),
+                validator=self._make_validator(netlist, forest, self.scenarios),
                 budget=budget,
                 checkpoint_path=checkpoint_path,
                 resume=resume,
                 telemetry=tel,
+                scenarios=self.scenarios,
             )
             sp.annotate(
                 iterations=result.iterations,
@@ -114,7 +121,7 @@ class TSteiner:
         return result
 
     @staticmethod
-    def _make_validator(netlist: Netlist, forest: SteinerForest):
+    def _make_validator(netlist: Netlist, forest: SteinerForest, scenarios=None):
         """Fast sign-off-lite probe: pattern route + STA at candidate coords.
 
         Used by the hybrid acceptance mode to anchor the evaluator's
@@ -122,13 +129,18 @@ class TSteiner:
         production flow's physics (layer assignment, coupling-aware
         STA) but skips rip-up rounds for speed.
 
-        One probe forest and one :class:`IncrementalSTA` are hoisted out
-        of the closure: successive probes in a refinement run move a
-        sparse subset of Steiner points, so the incremental engine
-        re-times only the affected cones instead of the whole design.
-        The returned callable carries a ``reset`` attribute that drops
-        the incremental state; :func:`repro.core.refine.refine` invokes
-        it after checkpoint restores and validated reverts.
+        One probe forest and one incremental STA query object are
+        hoisted out of the closure: successive probes in a refinement
+        run move a sparse subset of Steiner points, so the incremental
+        engine re-times only the affected cones instead of the whole
+        design.  The returned callable carries a ``reset`` attribute
+        that drops the incremental state; :func:`repro.core.refine.refine`
+        invokes it after checkpoint restores and validated reverts.
+
+        With a non-neutral ``scenarios`` set the probe times every
+        scenario through `repro.mcmm.ScenarioSTA` and returns the
+        *merged* (worst-WNS, summed-TNS) verdict, matching the merged
+        acceptance rule inside :func:`refine`.
         """
         from repro.groute.layer_assign import assign_layers
         from repro.groute.router import GlobalRouter, RouterConfig
@@ -138,7 +150,13 @@ class TSteiner:
 
         engine = STAEngine(netlist)
         probe = forest.copy()
-        inc = IncrementalSTA(netlist, probe, engine=engine)
+        mcmm = scenarios is not None and not scenarios.is_single_neutral()
+        if mcmm:
+            from repro.mcmm.sta import ScenarioSTA
+
+            inc = ScenarioSTA(netlist, probe, scenarios, engine=engine)
+        else:
+            inc = IncrementalSTA(netlist, probe, engine=engine)
 
         def validator(coords):
             probe.set_steiner_coords(probe.clamp_coords(coords))
@@ -149,6 +167,8 @@ class TSteiner:
             rr = router.route(probe)
             assign_layers(rr, netlist.technology, grid.nx * grid.ny)
             report = inc.run(route_result=rr, utilization=grid.utilization_map())
+            if mcmm:
+                return report.merged_wns, report.merged_tns
             return report.wns, report.tns
 
         validator.reset = inc.invalidate

@@ -52,6 +52,11 @@ class ExperimentConfig:
     validate_every: int = 1
     random_trials: int = 10
     seed: int = 42
+    # MCMM sign-off scenarios for the optimized flow arm (docs/MCMM.md).
+    # The defaults keep the historical single-scenario path bitwise
+    # intact: ("typ",) x "func" is the neutral scenario.
+    corners: Tuple[str, ...] = ("typ",)
+    mode: str = "func"
 
     @staticmethod
     def quick() -> "ExperimentConfig":
@@ -108,6 +113,18 @@ class ExperimentConfig:
             validate_every=self.validate_every,
         )
 
+    def scenario_set(self):
+        """`repro.mcmm.ScenarioSet` for the optimized arm, or ``None``.
+
+        Returns ``None`` for the default single-neutral selection so
+        the flow takes the exact pre-MCMM code path.
+        """
+        if tuple(self.corners) == ("typ",) and self.mode == "func":
+            return None
+        from repro.mcmm import ScenarioSet
+
+        return ScenarioSet.from_names(self.corners, modes=(self.mode,))
+
 
 class ExperimentContext:
     """Lazily-built, cached pipeline artifacts for one configuration.
@@ -160,7 +177,12 @@ class ExperimentContext:
     def baseline(self, name: str) -> FlowResult:
         if name not in self._baselines:
             netlist, forest = self.design(name)
-            self._baselines[name] = run_routing_flow(netlist, forest)
+            # Same scenario set as the optimized arm: under MCMM both
+            # columns must report the merged verdict or the table
+            # compares a nominal baseline against a pessimistic merge.
+            self._baselines[name] = run_routing_flow(
+                netlist, forest, scenarios=self.config.scenario_set()
+            )
         return self._baselines[name]
 
     def optimized(self, name: str) -> FlowResult:
@@ -175,6 +197,7 @@ class ExperimentContext:
                 checkpoint_dir=self.checkpoint_dir,
                 resume=self.checkpoint_dir is not None,
                 timing_graph=self.timing_graph(name),
+                scenarios=self.config.scenario_set(),
             )
         return self._optimized[name]
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +28,10 @@ from repro.obs import get_telemetry
 from repro.placement.placer import PlacementConfig, place
 from repro.routegrid.grid import GCellGrid
 from repro.sta.engine import STAEngine, TimingReport
+from repro.sta.hold import HoldReport, run_hold_analysis
+
+if TYPE_CHECKING:
+    from repro.mcmm.sta import ScenarioReport
 from repro.steiner.edge_shifting import shift_edges
 from repro.steiner.forest import SteinerForest, build_forest
 from repro.timing_model.dataset import DesignSample, make_sample
@@ -50,6 +54,13 @@ class FlowResult:
     refinement: Optional[RefinementResult] = None
     report: Optional[TimingReport] = None
     route_result: Optional[GlobalRouteResult] = None
+    # MCMM: per-scenario + merged sign-off verdict when the flow ran
+    # with a non-neutral scenario set; the top-level
+    # wns/tns/num_violations then carry the *merged* metrics.
+    scenario_report: Optional["ScenarioReport"] = None
+    # Hold (min-delay) sign-off of the routed design; populated
+    # whenever post-route STA succeeds.
+    hold_report: Optional[HoldReport] = None
     # Resilience: per-stage failures recorded by the guarded flow
     # (stage name -> "ExceptionType: message"); a result with entries
     # here is *partial* — unreachable metrics are NaN/zero.
@@ -98,6 +109,7 @@ def run_routing_flow(
     strict: bool = False,
     timing_graph=None,
     telemetry=None,
+    scenarios=None,
 ) -> FlowResult:
     """Route and sign off one design; optionally run TSteiner first.
 
@@ -120,6 +132,13 @@ def run_routing_flow(
     ``checkpoint_dir``/``resume`` enable refinement snapshots.
     ``telemetry`` records per-stage spans and ``stage_error`` events
     (docs/OBSERVABILITY.md); defaults to the process global.
+
+    ``scenarios`` (a ``repro.mcmm.ScenarioSet``) switches refinement
+    acceptance and the final sign-off to the MCMM merged verdict
+    (docs/MCMM.md): ``FlowResult.scenario_report`` carries per-scenario
+    metrics, and the top-level WNS/TNS become the merged ones.  ``None``
+    or a one-element neutral set keeps today's single-scenario flow
+    bitwise-unchanged.
     """
     tel = telemetry if telemetry is not None else get_telemetry()
     work = forest.copy()
@@ -127,6 +146,7 @@ def run_routing_flow(
     refinement: Optional[RefinementResult] = None
     stage_errors: Dict[str, str] = {}
     timed_out = False
+    mcmm = scenarios is not None and not scenarios.is_single_neutral()
 
     def guard(stage: str, exc: Exception) -> None:
         if tel.enabled:
@@ -145,7 +165,7 @@ def run_routing_flow(
         t0 = time.perf_counter()
         with tel.span("flow.tsteiner", design=netlist.name):
             try:
-                optimizer = TSteiner(model, refinement_config)
+                optimizer = TSteiner(model, refinement_config, scenarios=scenarios)
                 ckpt = (
                     Path(checkpoint_dir) / f"refine-{netlist.name}.npz"
                     if checkpoint_dir is not None
@@ -194,12 +214,53 @@ def run_routing_flow(
         stage_errors.setdefault("droute", "skipped: global routing failed")
 
     report = None
+    scenario_report = None
+    hold_report = None
     if route_result is not None:
         t0 = time.perf_counter()
         with tel.span("flow.sta", design=netlist.name):
             try:
                 engine = engine or STAEngine(netlist)
                 report = engine.run(work, route_result, utilization=grid.utilization_map())
+                if mcmm:
+                    from repro.mcmm.sta import ScenarioSTA
+
+                    scenario_report = ScenarioSTA(
+                        netlist, work, scenarios, engine=engine
+                    ).run(route_result=route_result, utilization=grid.utilization_map())
+                    if tel.enabled:
+                        tel.event(
+                            "mcmm_report",
+                            design=netlist.name,
+                            merged_wns=scenario_report.merged_wns,
+                            merged_tns=scenario_report.merged_tns,
+                            merged_violations=scenario_report.merged_violations,
+                            scenarios=[
+                                {
+                                    "name": m.name,
+                                    "check": m.check,
+                                    "wns": m.wns,
+                                    "tns": m.tns,
+                                    "violations": m.num_violations,
+                                }
+                                for m in scenario_report.scenarios
+                            ],
+                        )
+                if tel.enabled:
+                    # Hold sign-off rides along when a trace is being
+                    # recorded so `python -m repro report` can surface
+                    # it (docs/OBSERVABILITY.md).
+                    hold_report = run_hold_analysis(
+                        engine, work, route_result,
+                        utilization=grid.utilization_map(),
+                    )
+                    tel.event(
+                        "hold_report",
+                        design=netlist.name,
+                        whs=hold_report.whs,
+                        violations=hold_report.num_violations,
+                        endpoints=len(hold_report.hold_slack),
+                    )
             except Exception as exc:
                 guard("sta", exc)
         runtimes["sta"] = time.perf_counter() - t0
@@ -207,11 +268,19 @@ def run_routing_flow(
         stage_errors.setdefault("sta", "skipped: global routing failed")
 
     nan = float("nan")
+    if scenario_report is not None:
+        top_wns = scenario_report.merged_wns
+        top_tns = scenario_report.merged_tns
+        top_vios = scenario_report.merged_violations
+    else:
+        top_wns = report.wns if report is not None else nan
+        top_tns = report.tns if report is not None else nan
+        top_vios = report.num_violations if report is not None else 0
     return FlowResult(
         name=netlist.name,
-        wns=report.wns if report is not None else nan,
-        tns=report.tns if report is not None else nan,
-        num_violations=report.num_violations if report is not None else 0,
+        wns=top_wns,
+        tns=top_tns,
+        num_violations=top_vios,
         wirelength=detail.wirelength if detail is not None else nan,
         num_vias=detail.num_vias if detail is not None else 0,
         num_drvs=detail.num_drvs if detail is not None else 0,
@@ -219,6 +288,8 @@ def run_routing_flow(
         overflow=route_result.overflow if route_result is not None else 0.0,
         refinement=refinement,
         report=report,
+        scenario_report=scenario_report,
+        hold_report=hold_report,
         route_result=route_result,
         stage_errors=stage_errors,
         timed_out=timed_out,

@@ -1,0 +1,112 @@
+"""Dominance pruning of MCMM scenarios during refinement.
+
+A scenario whose WNS sits comfortably above the merged (worst) WNS for
+``prune_after`` consecutive *accepted* iterations is dominated: its
+smoothed penalty contributes almost nothing to the LSE-merged gradient,
+so it is dropped from the merged penalty to save evaluator work.  Two
+safety rails keep pruning sound:
+
+* the hard accept/revert verdict always scores **all** scenarios
+  (`ScenarioPenalty.hard_all`), so pruning can never hide a regression;
+* every ``recheck_every`` gradient evaluations all pruned scenarios are
+  restored for a full re-check, catching scenarios that drifted back
+  toward criticality while pruned.
+
+Telemetry: ``mcmm.pruned`` / ``mcmm.restored`` counters and a
+``mcmm_prune`` event per transition (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.obs import get_telemetry
+
+
+class DominancePruner:
+    """Tracks per-scenario dominance streaks and the active mask."""
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        prune_after: int = 3,
+        recheck_every: int = 10,
+        margin: float = 0.05,
+        telemetry=None,
+    ) -> None:
+        self.names = tuple(names)
+        self.prune_after = int(prune_after)
+        self.recheck_every = int(recheck_every)
+        self.margin = float(margin)
+        self.telemetry = telemetry
+        n = len(self.names)
+        self.active = np.ones(n, dtype=bool)
+        self.streak = np.zeros(n, dtype=np.int64)
+        self.evals = 0
+
+    def _tel(self):
+        return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Per gradient evaluation: periodic full re-check of pruned
+        scenarios (restores everything, resets streaks)."""
+        self.evals += 1
+        if self.recheck_every > 0 and self.evals % self.recheck_every == 0:
+            restored = int(np.count_nonzero(~self.active))
+            if restored:
+                tel = self._tel()
+                if tel.enabled:
+                    tel.count("mcmm.restored", restored)
+                    tel.event(
+                        "mcmm_prune", action="restore", n=restored,
+                        evals=self.evals,
+                    )
+                self.active[:] = True
+            self.streak[:] = 0
+
+    def observe(self, per_wns: np.ndarray) -> None:
+        """Update dominance streaks after an *accepted* iteration.
+
+        ``per_wns`` is the hard per-scenario WNS vector of the accepted
+        candidate.  A scenario is dominated when its WNS exceeds the
+        merged (minimum) WNS by more than ``margin``; the argmin
+        scenario is never pruned, so the merged gradient always sees
+        the current worst corner.
+        """
+        per_wns = np.asarray(per_wns, dtype=np.float64)
+        merged = float(per_wns.min())
+        dominated = per_wns > merged + self.margin
+        self.streak = np.where(dominated, self.streak + 1, 0)
+        newly = self.active & (self.streak >= self.prune_after)
+        newly[int(np.argmin(per_wns))] = False
+        if newly.any():
+            self.active[newly] = False
+            tel = self._tel()
+            if tel.enabled:
+                tel.count("mcmm.pruned", int(np.count_nonzero(newly)))
+                tel.event(
+                    "mcmm_prune",
+                    action="prune",
+                    scenarios=[self.names[i] for i in np.flatnonzero(newly)],
+                    merged_wns=merged,
+                )
+
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Checkpoint payload (restored by :meth:`load_state_arrays`)."""
+        return {
+            "mcmm_active": self.active.copy(),
+            "mcmm_streak": self.streak.copy(),
+            "mcmm_evals": np.int64(self.evals),
+        }
+
+    def load_state_arrays(self, arrays) -> None:
+        self.active = np.array(arrays["mcmm_active"], dtype=bool, copy=True)
+        self.streak = np.array(arrays["mcmm_streak"], dtype=np.int64, copy=True)
+        self.evals = int(arrays["mcmm_evals"])
+
+
+__all__ = ["DominancePruner"]

@@ -1,0 +1,516 @@
+"""`ScenarioSTA`: incremental multi-corner/multi-mode sign-off STA.
+
+One facade answers the MCMM sign-off query: *given the forest's current
+Steiner coordinates, what are WNS/TNS/violations in every scenario, and
+what is the merged verdict?*  It owns:
+
+* **wire groups** — scenarios sharing a ``(wire R, wire C)`` derate pair
+  share one Elmore pass (``Corner.wire_key``), so the expensive RC part
+  scales with distinct wire corners, not scenarios;
+* **check blocks** — setup scenarios batch into one ``(S_setup, n_pins)``
+  latest-arrival propagation, hold scenarios into one earliest-arrival
+  propagation (repro.mcmm.batch);
+* **incremental state** — the same dirty-tree/frontier machinery as
+  :class:`repro.sta.incremental.IncrementalSTA`, widened by the
+  scenario axis.  Every incremental answer is bitwise-identical to a
+  full batched rebuild.
+
+A one-element *neutral* scenario set (``typ@func``) delegates to the
+plain `IncrementalSTA`, keeping the pre-MCMM path bitwise untouched;
+``force_batched=True`` routes even that case through the batched
+kernels (the parity tests compare both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.groute.router import GlobalRouteResult
+from repro.netlist.netlist import Netlist
+from repro.obs import get_telemetry
+from repro.sta import flat as flatmod
+from repro.sta.engine import STAEngine, TimingReport
+from repro.sta.hold import DEFAULT_HOLD_TIME
+from repro.sta.incremental import IncrementalSTA
+from repro.steiner.forest import SteinerForest
+from repro.mcmm.batch import (
+    launch_arrays_batched,
+    propagate_from_batched,
+    propagate_levels_batched,
+)
+from repro.mcmm.scenario import Scenario, ScenarioSet
+
+
+@dataclass
+class ScenarioMetrics:
+    """Sign-off result of one scenario (setup slacks or hold slacks)."""
+
+    name: str
+    check: str  # "setup" or "hold"
+    wns: float
+    tns: float
+    num_violations: int
+    slack: Dict[int, float]
+    arrival: np.ndarray  # (n_pins,) propagated arrivals for this scenario
+
+
+@dataclass
+class ScenarioReport:
+    """Per-scenario metrics plus the merged MCMM verdict."""
+
+    scenarios: List[ScenarioMetrics]
+    merged_wns: float  # worst WNS over all scenarios
+    merged_tns: float  # summed TNS over all scenarios
+    merged_violations: int
+
+    def by_name(self, name: str) -> ScenarioMetrics:
+        for m in self.scenarios:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    def wns_vector(self) -> np.ndarray:
+        return np.array([m.wns for m in self.scenarios], dtype=np.float64)
+
+    @staticmethod
+    def merge(metrics: List[ScenarioMetrics]) -> "ScenarioReport":
+        return ScenarioReport(
+            scenarios=metrics,
+            merged_wns=min(m.wns for m in metrics),
+            merged_tns=sum(m.tns for m in metrics),
+            merged_violations=sum(m.num_violations for m in metrics),
+        )
+
+
+@dataclass
+class _BatchState:
+    """Everything cached between batched queries."""
+
+    flat: flatmod.FlatForest
+    coords: np.ndarray
+    xy: np.ndarray
+    routed: bool
+    base_r: np.ndarray  # (E,) nominal edge resistance (dirty-diff basis)
+    base_c: np.ndarray
+    group_r: np.ndarray  # (G, E) derated edge R per wire group
+    group_c: np.ndarray
+    elmores: List[flatmod.ElmoreState]  # one per wire group
+    wire_delay_G: np.ndarray  # (G, n_pins)
+    wire_deg_G: np.ndarray  # (G, n_pins)
+    net_load_G: np.ndarray  # (G, n_nets)
+    net_has_tree: np.ndarray  # (n_nets,) bool, shared topology
+    # Per check block: (S_block, n_pins) propagated state.
+    arr_setup: Optional[np.ndarray]
+    slew_setup: Optional[np.ndarray]
+    arr_hold: Optional[np.ndarray]
+    slew_hold: Optional[np.ndarray]
+
+
+class ScenarioSTA:
+    """MCMM STA query object bound to one (netlist, forest) pair.
+
+    Same contract as `IncrementalSTA`: callers move Steiner points on
+    ``forest`` and re-query; topology edits trigger a full rebuild; any
+    exception mid-update drops the cache before propagating.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        forest: SteinerForest,
+        scenarios: Optional[ScenarioSet] = None,
+        engine: Optional[STAEngine] = None,
+        tol: float = 0.0,
+        force_batched: bool = False,
+    ) -> None:
+        self.netlist = netlist
+        self.forest = forest
+        self.scenarios = scenarios if scenarios is not None else ScenarioSet.default()
+        self.engine = engine if engine is not None else STAEngine(netlist)
+        self.tol = float(tol)
+        self._delegate: Optional[IncrementalSTA] = None
+        if self.scenarios.is_single_neutral() and not force_batched:
+            self._delegate = IncrementalSTA(
+                netlist, forest, engine=self.engine, tol=tol
+            )
+        self._state: Optional[_BatchState] = None
+        self.num_queries = 0
+        self.num_full = 0
+        self.last_dirty_trees = 0
+
+        # Wire groups: scenarios sharing (r_derate, c_derate) share one
+        # Elmore pass.  First-occurrence order keeps the neutral group
+        # (if any) deterministic.
+        keys: List[Tuple[float, float]] = []
+        self._group_of: List[int] = []
+        for sc in self.scenarios:
+            k = sc.corner.wire_key
+            if k not in keys:
+                keys.append(k)
+            self._group_of.append(keys.index(k))
+        self._wire_keys = keys
+
+        # Check blocks.
+        self._setup_idx = list(self.scenarios.setup_indices())
+        self._hold_idx = list(self.scenarios.hold_indices())
+        self._clocks = [sc.clock(netlist.clock) for sc in self.scenarios]
+
+        # Per-scenario finalize data.
+        pert = self.engine.pert()
+        self._setup_req: List[np.ndarray] = []
+        self._setup_enabled: List[Optional[np.ndarray]] = []
+        for s in self._setup_idx:
+            sc = self.scenarios[s]
+            self._setup_req.append(self._required_array(sc))
+            self._setup_enabled.append(self._enabled_mask(sc, pert.endpoints_arr))
+        # Hold endpoints: register data pins in register iteration order
+        # (matches repro.sta.hold.run_hold_analysis).
+        hold_ep: List[int] = []
+        for cell in netlist.registers():
+            ct = cell.cell_type
+            for in_name in ct.input_pins:
+                if in_name != ct.clock_pin:
+                    hold_ep.append(cell.pin_indices[in_name])
+        self._hold_ep = np.array(hold_ep, dtype=np.int64)
+        self._hold_enabled: List[Optional[np.ndarray]] = [
+            self._enabled_mask(self.scenarios[s], self._hold_ep)
+            for s in self._hold_idx
+        ]
+
+    # ------------------------------------------------------------------
+    def _required_array(self, sc: Scenario) -> np.ndarray:
+        """Per-endpoint required times under one setup scenario, aligned
+        with ``pert.endpoints_arr`` (the engine's endpoint order)."""
+        clock = sc.clock(self.netlist.clock)
+        margin = sc.corner.setup_margin
+        req: Dict[int, float] = {}
+        for cell in self.netlist.registers():
+            ct = cell.cell_type
+            for in_name in ct.input_pins:
+                if in_name != ct.clock_pin:
+                    req[cell.pin_indices[in_name]] = clock.required_at_register(
+                        ct.setup_time + margin
+                    )
+        for port in self.netlist.primary_outputs():
+            req[port.index] = clock.required_at_output()
+        return np.array(
+            [req[ep] for ep in self.engine._endpoints], dtype=np.float64
+        )
+
+    @staticmethod
+    def _enabled_mask(sc: Scenario, endpoints: np.ndarray) -> Optional[np.ndarray]:
+        if not sc.mode.disabled_endpoints:
+            return None
+        disabled = np.array(sc.mode.disabled_endpoints, dtype=np.int64)
+        return ~np.isin(endpoints, disabled)
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all cached state; the next query runs a full pass."""
+        if self._delegate is not None:
+            self._delegate.invalidate()
+        self._state = None
+
+    reset = invalidate
+
+    def full_recompute(
+        self,
+        route_result: Optional[GlobalRouteResult] = None,
+        utilization: Optional[np.ndarray] = None,
+    ) -> ScenarioReport:
+        self.invalidate()
+        return self.run(route_result=route_result, utilization=utilization)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        route_result: Optional[GlobalRouteResult] = None,
+        utilization: Optional[np.ndarray] = None,
+    ) -> ScenarioReport:
+        """Scenario-merged timing under the current Steiner coordinates."""
+        self.num_queries += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("mcmm.sta_queries")
+        if self._delegate is not None:
+            report = self._delegate.run(
+                route_result=route_result, utilization=utilization
+            )
+            self.num_full = self._delegate.num_full
+            self.last_dirty_trees = self._delegate.last_dirty_trees
+            return self._wrap_single(report)
+        pert = self.engine.pert()
+        flat = flatmod.flat_forest_of(self.forest, pert.pin_caps)
+        coords = self.forest.get_steiner_coords()
+        st = self._state
+        if st is None or st.flat is not flat:
+            return self._full(flat, coords, route_result, utilization)
+        try:
+            return self._incremental(st, coords, route_result, utilization)
+        except Exception:
+            self._state = None
+            raise
+
+    def _wrap_single(self, report: TimingReport) -> ScenarioReport:
+        sc = self.scenarios[0]
+        m = ScenarioMetrics(
+            name=sc.name,
+            check="setup",
+            wns=report.wns,
+            tns=report.tns,
+            num_violations=report.num_violations,
+            slack=dict(report.slack),
+            arrival=report.arrival,
+        )
+        return ScenarioReport.merge([m])
+
+    # ------------------------------------------------------------------
+    def _full(
+        self,
+        flat: flatmod.FlatForest,
+        coords: np.ndarray,
+        route_result: Optional[GlobalRouteResult],
+        utilization: Optional[np.ndarray],
+    ) -> ScenarioReport:
+        self.num_full += 1
+        self.last_dirty_trees = flat.n_trees
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("mcmm.full_rebuilds")
+        engine = self.engine
+        pert = engine.pert()
+        xy = flatmod.node_positions(flat, coords)
+        routed = route_result is not None
+        if routed:
+            base_r, base_c = flatmod.routed_edge_rc(
+                flat, engine.technology, xy, route_result,
+                utilization, engine.COUPLING_K,
+            )
+        else:
+            base_r, base_c = flatmod.preroute_edge_rc(flat, engine.technology, xy)
+
+        G = len(self._wire_keys)
+        n_pins = pert.n_pins
+        group_r = np.empty((G, base_r.size))
+        group_c = np.empty((G, base_c.size))
+        elmores: List[flatmod.ElmoreState] = []
+        wire_delay_G = np.zeros((G, n_pins))
+        wire_deg_G = np.zeros((G, n_pins))
+        net_load_G = np.empty((G, pert.n_nets))
+        for g, (rd, cd) in enumerate(self._wire_keys):
+            group_r[g] = base_r * rd
+            group_c[g] = base_c * cd
+            el = flatmod.elmore_forest(flat, group_r[g], group_c[g])
+            elmores.append(el)
+            wire_delay_G[g, flat.sink_pin] = el.sink_delay
+            wire_deg_G[g, flat.sink_pin] = el.sink_slew_deg
+            net_load_G[g] = pert.lumped_net_cap
+            net_load_G[g, flat.net_of_tree] = el.total_cap
+        net_has_tree = np.zeros(pert.n_nets, dtype=bool)
+        net_has_tree[flat.net_of_tree] = True
+
+        st = _BatchState(
+            flat=flat,
+            coords=np.array(coords, dtype=np.float64, copy=True),
+            xy=xy,
+            routed=routed,
+            base_r=base_r,
+            base_c=base_c,
+            group_r=group_r,
+            group_c=group_c,
+            elmores=elmores,
+            wire_delay_G=wire_delay_G,
+            wire_deg_G=wire_deg_G,
+            net_load_G=net_load_G,
+            net_has_tree=net_has_tree,
+            arr_setup=None,
+            slew_setup=None,
+            arr_hold=None,
+            slew_hold=None,
+        )
+        for idx, early in ((self._setup_idx, False), (self._hold_idx, True)):
+            if not idx:
+                continue
+            arrival, slew = launch_arrays_batched(
+                engine, [self._clocks[s] for s in idx]
+            )
+            wd, deg, nl, derate = self._block_arrays(st, idx)
+            propagate_levels_batched(
+                pert, arrival, slew, wd, deg, nl, net_has_tree, derate, early=early
+            )
+            if early:
+                st.arr_hold, st.slew_hold = arrival, slew
+            else:
+                st.arr_setup, st.slew_setup = arrival, slew
+        self._state = st
+        return self._finalize(st)
+
+    def _block_arrays(
+        self, st: _BatchState, idx: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Expand group-level wire arrays to one row per block scenario."""
+        g_rows = np.array([self._group_of[s] for s in idx], dtype=np.int64)
+        derate = np.array(
+            [[self.scenarios[s].corner.cell_derate] for s in idx]
+        )
+        return (
+            st.wire_delay_G[g_rows],
+            st.wire_deg_G[g_rows],
+            st.net_load_G[g_rows],
+            derate,
+        )
+
+    # ------------------------------------------------------------------
+    def _incremental(
+        self,
+        st: _BatchState,
+        coords: np.ndarray,
+        route_result: Optional[GlobalRouteResult],
+        utilization: Optional[np.ndarray],
+    ) -> ScenarioReport:
+        engine = self.engine
+        pert = engine.pert()
+        flat = st.flat
+        routed = route_result is not None
+
+        dirty_mask = np.zeros(flat.n_trees, dtype=bool)
+        if routed or st.routed:
+            xy = st.xy
+            if flat.steiner_rows.size:
+                xy[flat.steiner_rows] = coords[flat.steiner_flat]
+            if routed:
+                new_r, new_c = flatmod.routed_edge_rc(
+                    flat, engine.technology, xy, route_result,
+                    utilization, engine.COUPLING_K,
+                )
+            else:
+                new_r, new_c = flatmod.preroute_edge_rc(flat, engine.technology, xy)
+            diff = (new_r != st.base_r) | (new_c != st.base_c)
+            dirty_mask[flat.edge_tree[diff]] = True
+            st.base_r, st.base_c = new_r, new_c
+            st.coords = np.array(coords, dtype=np.float64, copy=True)
+        else:
+            delta = np.abs(coords - st.coords)
+            if self.tol > 0.0:
+                moved = np.any(delta > self.tol, axis=1)
+            else:
+                moved = np.any(coords != st.coords, axis=1)
+            dirty_mask[flat.steiner_tree[moved]] = True
+            coord_rows = dirty_mask[flat.steiner_tree]
+            st.coords[coord_rows] = coords[coord_rows]
+            xy = st.xy
+            m = coord_rows[flat.steiner_flat]
+            if m.any():
+                xy[flat.steiner_rows[m]] = coords[flat.steiner_flat[m]]
+            dirty = np.flatnonzero(dirty_mask)
+            if dirty.size:
+                e_rows = flat.edge_rows_of_trees(dirty)
+                flatmod.preroute_edge_rc(
+                    flat, engine.technology, xy,
+                    edge_rows=e_rows, out_r=st.base_r, out_c=st.base_c,
+                )
+        st.routed = routed
+
+        dirty = np.flatnonzero(dirty_mask)
+        self.last_dirty_trees = int(dirty.size)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.hist("mcmm.dirty_trees", int(dirty.size))
+        recompute = np.zeros(pert.n_pins, dtype=bool)
+        if dirty.size:
+            e_rows = flat.edge_rows_of_trees(dirty)
+            sink_sel = flat.sink_rows_of_trees(dirty)
+            pins = flat.sink_pin[sink_sel]
+            nets = flat.net_of_tree[dirty]
+            for g, (rd, cd) in enumerate(self._wire_keys):
+                # Refresh the derated rows of the dirty trees, then the
+                # partial Elmore pass (bitwise-identical to full).
+                st.group_r[g, e_rows] = st.base_r[e_rows] * rd
+                st.group_c[g, e_rows] = st.base_c[e_rows] * cd
+                el = st.elmores[g]
+                flatmod.elmore_update(
+                    flat, st.group_r[g], st.group_c[g], el, trees=dirty
+                )
+                new_wd = el.sink_delay[sink_sel]
+                new_deg = el.sink_slew_deg[sink_sel]
+                w_ch = (st.wire_delay_G[g, pins] != new_wd) | (
+                    st.wire_deg_G[g, pins] != new_deg
+                )
+                st.wire_delay_G[g, pins] = new_wd
+                st.wire_deg_G[g, pins] = new_deg
+                recompute[pins[w_ch]] = True
+                new_load = el.total_cap[dirty]
+                l_ch = st.net_load_G[g, nets] != new_load
+                st.net_load_G[g, nets] = new_load
+                recompute[pert.net_driver[nets[l_ch]]] = True
+
+        if recompute.any():
+            for idx, early in ((self._setup_idx, False), (self._hold_idx, True)):
+                if not idx:
+                    continue
+                arrival = st.arr_hold if early else st.arr_setup
+                slew = st.slew_hold if early else st.slew_setup
+                wd, deg, nl, derate = self._block_arrays(st, idx)
+                propagate_from_batched(
+                    pert, arrival, slew, wd, deg, nl, st.net_has_tree,
+                    derate, recompute, early=early,
+                )
+        return self._finalize(st)
+
+    # ------------------------------------------------------------------
+    def _finalize(self, st: _BatchState) -> ScenarioReport:
+        """Per-scenario slacks/WNS/TNS from the propagated blocks."""
+        pert = self.engine.pert()
+        metrics: List[Optional[ScenarioMetrics]] = [None] * len(self.scenarios)
+        for row, s in enumerate(self._setup_idx):
+            sc = self.scenarios[s]
+            clock = self._clocks[s]
+            launch = clock.launch_time()
+            arrival = st.arr_setup[row]
+            req_arr = self._setup_req[row]
+            eps = pert.endpoints_arr
+            arr_ep = arrival[eps]
+            nan_ep = np.isnan(arr_ep)
+            svals = np.where(nan_ep, req_arr - launch, req_arr - arr_ep)
+            enabled = self._setup_enabled[row]
+            if enabled is not None:
+                eps = eps[enabled]
+                svals = svals[enabled]
+            slack = {int(ep): float(v) for ep, v in zip(eps, svals)}
+            wns = float(svals.min()) if svals.size else 0.0
+            neg = np.minimum(svals, 0.0)
+            tns = float(neg.sum()) if svals.size else 0.0
+            vios = int(np.count_nonzero(svals < 0.0))
+            metrics[s] = ScenarioMetrics(
+                name=sc.name, check="setup", wns=wns, tns=tns,
+                num_violations=vios, slack=slack, arrival=arrival.copy(),
+            )
+        for row, s in enumerate(self._hold_idx):
+            sc = self.scenarios[s]
+            clock = self._clocks[s]
+            launch = clock.launch_time()
+            requirement = DEFAULT_HOLD_TIME + sc.corner.hold_margin + clock.uncertainty
+            arrival = st.arr_hold[row]
+            eps = self._hold_ep
+            enabled = self._hold_enabled[row]
+            if enabled is not None:
+                eps = eps[enabled]
+            arr_ep = arrival[eps]
+            ok = ~np.isnan(arr_ep)
+            svals = arr_ep[ok] - launch - requirement
+            slack = {int(ep): float(v) for ep, v in zip(eps[ok], svals)}
+            whs = float(svals.min()) if svals.size else 0.0
+            neg = np.minimum(svals, 0.0)
+            tns = float(neg.sum()) if svals.size else 0.0
+            vios = int(np.count_nonzero(svals < 0.0))
+            metrics[s] = ScenarioMetrics(
+                name=sc.name, check="hold", wns=whs, tns=tns,
+                num_violations=vios, slack=slack, arrival=arrival.copy(),
+            )
+        return ScenarioReport.merge([m for m in metrics if m is not None])
+
+
+__all__ = ["ScenarioMetrics", "ScenarioReport", "ScenarioSTA"]

@@ -11,6 +11,9 @@ Sections rendered (each only when the trace contains the data):
 * per-stage time breakdown — span durations aggregated by name;
 * refinement trajectory — one line per ``refine`` invocation
   reconstructed from ``refine_start``/``refine_iter``/``refine_end``;
+* MCMM sign-off — per-scenario and merged WNS/TNS from the flow's
+  ``mcmm_report`` events (docs/MCMM.md);
+* hold sign-off — WHS and hold violations from ``hold_report`` events;
 * training — per ``train_evaluator`` invocation;
 * metric registry — counters, gauges and histogram summaries from the
   final ``metrics`` event;
@@ -196,6 +199,45 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
             ]
             if flags:
                 lines.append(f"    flags: {', '.join(flags)}")
+
+    mcmm_events = [e for e in events if e.get("kind") == "mcmm_report"]
+    if mcmm_events:
+        lines.append("")
+        lines.append("MCMM sign-off (per design, last report)")
+        latest: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        for ev in mcmm_events:
+            latest[str(ev.get("design", "?"))] = ev
+        for design, ev in latest.items():
+            lines.append(
+                f"  {design}: merged WNS {_fmt(float(ev.get('merged_wns', 0.0)))}, "
+                f"TNS {_fmt(float(ev.get('merged_tns', 0.0)))}, "
+                f"{ev.get('merged_violations', 0)} violations"
+            )
+            rows = [
+                [s.get("name", "?"), s.get("check", "?"),
+                 float(s.get("wns", 0.0)), float(s.get("tns", 0.0)),
+                 s.get("violations", 0)]
+                for s in (ev.get("scenarios") or [])
+            ]
+            if rows:
+                lines.extend(
+                    "    " + ln
+                    for ln in _table(["scenario", "check", "wns", "tns", "viol"], rows)
+                )
+
+    hold_events = [e for e in events if e.get("kind") == "hold_report"]
+    if hold_events:
+        lines.append("")
+        lines.append("Hold sign-off (per design, last report)")
+        latest_hold: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        for ev in hold_events:
+            latest_hold[str(ev.get("design", "?"))] = ev
+        for design, ev in latest_hold.items():
+            lines.append(
+                f"  {design}: WHS {_fmt(float(ev.get('whs', 0.0)))}, "
+                f"{ev.get('violations', 0)} violations over "
+                f"{ev.get('endpoints', 0)} endpoints"
+            )
 
     epochs = [e for e in events if e.get("kind") == "train_epoch"]
     if epochs:

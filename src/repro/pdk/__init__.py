@@ -23,6 +23,7 @@ from repro.pdk.liberty import (
     default_library,
 )
 from repro.pdk.clocks import ClockSpec
+from repro.pdk.corners import Corner, PRESET_CORNERS, get_corner
 
 __all__ = [
     "RoutingLayer",
@@ -36,4 +37,7 @@ __all__ = [
     "TimingSense",
     "default_library",
     "ClockSpec",
+    "Corner",
+    "PRESET_CORNERS",
+    "get_corner",
 ]

@@ -75,6 +75,12 @@ def test_baseline_report_is_committed():
     # closure), not warm-vs-cold of one kernel.
     for design, row in kernels["evaluator"].items():
         assert {"closure_ms", "tape_ms", "compile_ms"} <= set(row), design
+    # MCMM PR: batched cross-scenario STA beats N independent runs on
+    # every benchmarked design, with bitwise-equal per-scenario rows.
+    for design, row in kernels["mcmm_sta"].items():
+        assert row["scenarios"] >= 3.0, design
+        assert row["speedup"] > 1.0, design
+        assert row["metrics_bitwise_equal"] == 1.0, design
 
 
 @pytest.mark.bench_smoke

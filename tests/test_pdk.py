@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.pdk.clocks import ClockSpec
 from repro.pdk.liberty import (
@@ -204,3 +206,92 @@ class TestClockSpec:
     def test_scaled(self):
         clk = ClockSpec(period=1.0).scaled(2.0)
         assert clk.period == 2.0
+
+
+class TestClockSpecScaledProperties:
+    """Property tests for `ClockSpec.scaled` (used by MCMM modes)."""
+
+    @given(
+        factor=st.floats(0.1, 10.0),
+        period=st.floats(0.5, 20.0),
+        uncertainty=st.floats(0.0, 0.5),
+        latency=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_preserves_everything_but_period(
+        self, factor, period, uncertainty, latency
+    ):
+        clk = ClockSpec(
+            period=period, uncertainty=uncertainty, latency=latency,
+            input_delay=0.1, output_delay=0.2,
+        )
+        scaled = clk.scaled(factor)
+        assert scaled.period == period * factor
+        assert scaled.uncertainty == uncertainty
+        assert scaled.latency == latency
+        assert scaled.input_delay == clk.input_delay
+        assert scaled.output_delay == clk.output_delay
+
+    @given(f1=st.floats(0.2, 5.0), f2=st.floats(0.2, 5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_required_times_monotone_in_scale_factor(self, f1, f2):
+        lo, hi = sorted((f1, f2))
+        clk = ClockSpec(period=2.0, uncertainty=0.05, latency=0.1)
+        assert clk.scaled(lo).required_at_register(0.04) <= clk.scaled(
+            hi
+        ).required_at_register(0.04)
+        assert clk.scaled(lo).required_at_output() <= clk.scaled(hi).required_at_output()
+
+
+class TestCornerDerates:
+    """MCMM corner derate properties (repro.pdk.corners)."""
+
+    @given(
+        cell=st.floats(0.5, 2.0),
+        wr=st.floats(0.5, 2.0),
+        wc=st.floats(0.5, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_delay_scale_monotone_in_each_derate(self, cell, wr, wc):
+        from repro.pdk.corners import Corner
+
+        base = Corner("base", cell_derate=cell, wire_r_derate=wr, wire_c_derate=wc)
+        for bump in ({"cell_derate": cell * 1.1}, {"wire_r_derate": wr * 1.1},
+                     {"wire_c_derate": wc * 1.1}):
+            kwargs = dict(
+                cell_derate=cell, wire_r_derate=wr, wire_c_derate=wc
+            )
+            kwargs.update(bump)
+            worse = Corner("worse", **kwargs)
+            assert worse.delay_scale > base.delay_scale
+
+    @given(derate=st.floats(1.0, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_derated_delays_never_decrease(self, derate):
+        from repro.pdk.corners import Corner
+
+        rng = np.random.default_rng(3)
+        delays = rng.uniform(0.01, 1.0, size=64)
+        c = Corner("slow", cell_derate=derate)
+        assert np.all(delays * c.cell_derate >= delays)
+
+    def test_preset_corners_validated(self):
+        from repro.pdk.corners import PRESET_CORNERS, get_corner
+
+        for name, c in PRESET_CORNERS.items():
+            assert c.name == name
+            assert c.delay_scale > 0
+            assert get_corner(name) is c
+        assert get_corner("typ").is_neutral
+        assert not get_corner("slow_setup").is_neutral
+        assert get_corner("fast_hold").check == "hold"
+
+    def test_invalid_corner_rejected(self):
+        from repro.pdk.corners import Corner, get_corner
+
+        with pytest.raises(ValueError):
+            Corner("bad", cell_derate=0.0)
+        with pytest.raises(ValueError):
+            Corner("bad", check="weird")
+        with pytest.raises(KeyError):
+            get_corner("no_such_corner")
