@@ -10,6 +10,7 @@ Usage::
     python -m repro table2 --trace run.jsonl --verbose
     python -m repro report run.jsonl  # summarize a telemetry trace
     python -m repro table1 --corners typ,slow_setup,fast_hold  # MCMM
+    python -m repro serve --jobs 24 --chaos  # sign-off service under load
 
 Profiles: quick (default, four designs), full (ten designs at half
 scale), paper (the complete reproduction — slow).
@@ -77,15 +78,22 @@ def main(argv=None) -> int:
         from repro.obs.report import main as report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Likewise the serving layer (docs/SERVING.md): its surface is
+        # traffic shape and fault plan, not artifact profiles.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate TSteiner paper artifacts (tables and figures).",
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_ARTIFACTS) + ["all", "report"],
-        help="which artifact to regenerate, or `report <trace.jsonl>` "
-        "to summarize a telemetry trace",
+        choices=sorted(_ARTIFACTS) + ["all", "report", "serve"],
+        help="which artifact to regenerate, `report <trace.jsonl>` "
+        "to summarize a telemetry trace, or `serve` to run the "
+        "sign-off service under synthetic load",
     )
     parser.add_argument(
         "--profile",

@@ -17,6 +17,10 @@ processes.  :func:`parallel_map` is the shared fan-out primitive:
   unpicklable task, a broken pool, a sandbox without working
   subprocesses) degrades to the in-process loop with a
   ``parallel_fallback`` event instead of failing the artifact.
+* **Typed task failures** — a task that raises is captured inside its
+  worker, the sibling tasks finish, and the failures come back as one
+  :class:`~repro.runtime.errors.WorkerError` naming the failing design
+  (no raw pool tracebacks; see ``parallel_map``).
 
 Workers are full processes: they rebuild their own
 :class:`~repro.experiments.common.ExperimentContext` from the (picklable)
@@ -76,15 +80,31 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 # ----------------------------------------------------------------------
 # Worker entry + trace stitching
 # ----------------------------------------------------------------------
+#: Worker result markers: ``("ok", value)`` or ``("error", "Type: msg")``.
+_OK = "ok"
+_ERR = "error"
+
+
 def _worker(task: Tuple[Callable[[Any], Any], Any, int, Optional[str], str]):
-    """Top-level (hence picklable) worker: run one item under its own trace."""
+    """Top-level (hence picklable) worker: run one item under its own trace.
+
+    Exceptions raised by ``fn`` are captured and shipped back as an
+    ``("error", detail)`` marker instead of propagating: one failing
+    design must not poison the pool or cancel the remaining tasks
+    (``parallel_map`` turns the markers into a typed
+    :class:`~repro.runtime.errors.WorkerError` after every task has
+    finished).
+    """
     fn, item, index, trace_path, run_id = task
-    if trace_path is None:
-        return index, fn(item)
-    with Telemetry(path=trace_path, run_id=run_id) as tel:
-        with telemetry_session(tel):
-            result = fn(item)
-    return index, result
+    try:
+        if trace_path is None:
+            return index, (_OK, fn(item))
+        with Telemetry(path=trace_path, run_id=run_id) as tel:
+            with telemetry_session(tel):
+                result = fn(item)
+        return index, (_OK, result)
+    except Exception as exc:
+        return index, (_ERR, f"{type(exc).__name__}: {exc}")
 
 
 def _stitch_trace(tel, worker_index: int, trace_path: str) -> None:
@@ -121,11 +141,27 @@ def _stitch_trace(tel, worker_index: int, trace_path: str) -> None:
             tel.event(kind, worker=worker_index, **rec)
 
 
+def task_label(item: Any) -> str:
+    """Best-effort human label for one task item (the design name).
+
+    The per-design payload tuples below all carry the design name as
+    their first string element; fall back to a repr for anything else.
+    """
+    if isinstance(item, str):
+        return item
+    if isinstance(item, (tuple, list)):
+        for part in item:
+            if isinstance(part, str):
+                return part
+    return repr(item)[:80]
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
     jobs: Optional[int] = None,
     label: str = "parallel_map",
+    label_of: Callable[[Any], str] = task_label,
 ) -> List[Any]:
     """``[fn(item) for item in items]``, fanned across worker processes.
 
@@ -133,9 +169,18 @@ def parallel_map(
     the per-design task functions below qualify.  Results are returned
     in item order.  With an effective job count of one (or one item)
     the loop runs in-process under the parent telemetry; pool-level
-    failures fall back to the same serial loop.  Exceptions raised by
-    ``fn`` itself propagate unchanged, exactly as in a serial run.
+    failures fall back to the same serial loop.
+
+    A task whose ``fn`` raises does not surface as a raw pool traceback
+    and does not cancel its siblings: every remaining task still
+    completes, and the failures are then raised as one
+    :class:`~repro.runtime.errors.WorkerError` naming the failing
+    design (``label_of``), with every ``(design, error)`` pair on
+    ``.failures`` and the salvaged results (``None`` at the failed
+    indices) on ``.results``.
     """
+    from repro.runtime.errors import WorkerError
+
     items = list(items)
     n = min(resolve_jobs(jobs), len(items))
     if n <= 1:
@@ -143,6 +188,7 @@ def parallel_map(
     tel = get_telemetry()
     run_id = tel.run_id or "run"
     results: List[Any] = [None] * len(items)
+    failures: List[Tuple[str, str]] = []
     tmpdir = tempfile.mkdtemp(prefix="repro-parallel-")
     try:
         tasks = []
@@ -152,8 +198,19 @@ def parallel_map(
         try:
             with tel.span(label, jobs=n, tasks=len(items)):
                 with ProcessPoolExecutor(max_workers=n) as pool:
-                    for index, value in pool.map(_worker, tasks):
-                        results[index] = value
+                    for index, (status, value) in pool.map(_worker, tasks):
+                        if status == _ERR:
+                            failures.append((label_of(items[index]), value))
+                            if tel.enabled:
+                                tel.count("parallel.task_failures")
+                                tel.event(
+                                    "parallel_task_failed",
+                                    label=label,
+                                    design=label_of(items[index]),
+                                    error=value,
+                                )
+                        else:
+                            results[index] = value
                 for _, _, i, trace, _ in tasks:
                     if trace is not None:
                         _stitch_trace(tel, i, trace)
@@ -170,6 +227,9 @@ def parallel_map(
             return [fn(item) for item in items]
     finally:
         shutil.rmtree(tmpdir, ignore_errors=True)
+    if failures:
+        design, detail = failures[0]
+        raise WorkerError(design, detail, failures=tuple(failures), results=results)
     if tel.enabled:
         tel.count("parallel.maps")
         tel.count("parallel.tasks", len(items))

@@ -121,6 +121,63 @@ def summarize_refinements(events: Sequence[Dict[str, Any]]) -> List[Dict[str, An
     return runs
 
 
+def summarize_serving(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Aggregate the ``job_*``/``worker_*`` event stream of the service.
+
+    Returns None when the trace has no serving events (docs/SERVING.md).
+    """
+    served = [e for e in events if e.get("kind") == "job_done"]
+    quarantined = [e for e in events if e.get("kind") == "job_quarantined"]
+    shed = [e for e in events if e.get("kind") == "job_shed"]
+    degraded = [e for e in events if e.get("kind") == "job_degraded"]
+    if not (served or quarantined or shed or degraded):
+        return None
+    kinds: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    for ev in served:
+        kind = str(ev.get("job_kind", "?"))
+        s = kinds.setdefault(
+            kind,
+            {
+                "done": 0,
+                "retried": 0,
+                "stale": 0,
+                "timed_out": 0,
+                "latencies": [],
+            },
+        )
+        s["done"] += 1
+        if int(ev.get("attempts", 1)) > 1:
+            s["retried"] += 1
+        if ev.get("stale"):
+            s["stale"] += 1
+        if ev.get("timed_out"):
+            s["timed_out"] += 1
+        s["latencies"].append(float(ev.get("latency", 0.0)))
+    for s in kinds.values():
+        lat = s.pop("latencies")
+        s["mean_latency"] = sum(lat) / len(lat) if lat else 0.0
+        s["max_latency"] = max(lat) if lat else 0.0
+    chaos: Dict[str, int] = {}
+    for ev in events:
+        kind = ev.get("kind")
+        if kind in ("chaos_kill", "chaos_delay", "chaos_corrupt"):
+            chaos[kind] = chaos.get(kind, 0) + 1
+    return {
+        "kinds": kinds,
+        "quarantined": len(quarantined),
+        "shed": len(shed),
+        "degraded": len(degraded),
+        "worker_deaths": sum(1 for e in events if e.get("kind") == "worker_killed"),
+        "worker_restarts": sum(
+            1 for e in events if e.get("kind") == "worker_restarted"
+        ),
+        "checkpoint_resets": sum(
+            1 for e in events if e.get("kind") == "serve_checkpoint_reset"
+        ),
+        "chaos": chaos,
+    }
+
+
 def _final_metrics(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
     for ev in reversed(events):
         if ev.get("kind") == "metrics":
@@ -237,6 +294,39 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
                 f"  {design}: WHS {_fmt(float(ev.get('whs', 0.0)))}, "
                 f"{ev.get('violations', 0)} violations over "
                 f"{ev.get('endpoints', 0)} endpoints"
+            )
+
+    serving = summarize_serving(events)
+    if serving is not None:
+        lines.append("")
+        lines.append("Serving (sign-off job service)")
+        rows = [
+            [kind, s["done"], s["retried"], s["stale"], s["timed_out"],
+             _fmt(s["mean_latency"]), _fmt(s["max_latency"])]
+            for kind, s in serving["kinds"].items()
+        ]
+        if rows:
+            lines.extend(
+                "  " + ln
+                for ln in _table(
+                    ["job kind", "done", "retried", "stale", "timeo",
+                     "mean_s", "max_s"],
+                    rows,
+                )
+            )
+        lines.append(
+            f"  quarantined {serving['quarantined']}, shed {serving['shed']}, "
+            f"degraded (stale answers) {serving['degraded']}"
+        )
+        if serving["worker_deaths"] or serving["chaos"]:
+            chaos = serving["chaos"]
+            lines.append(
+                f"  worker deaths {serving['worker_deaths']} "
+                f"(restarts {serving['worker_restarts']}); chaos: "
+                f"kills {chaos.get('chaos_kill', 0)}, "
+                f"delays {chaos.get('chaos_delay', 0)}, "
+                f"corruptions {chaos.get('chaos_corrupt', 0)}, "
+                f"checkpoint resets {serving['checkpoint_resets']}"
             )
 
     epochs = [e for e in events if e.get("kind") == "train_epoch"]

@@ -16,6 +16,7 @@ from repro.runtime.errors import (
     ReproError,
     StageError,
     ValidatorError,
+    WorkerError,
 )
 from repro.runtime.guards import (
     POLICY_RAISE,
@@ -25,7 +26,7 @@ from repro.runtime.guards import (
     sanitize,
     validate_policy,
 )
-from repro.runtime.retry import retry_call
+from repro.runtime.retry import backoff_delay, retry_call
 
 __all__ = [
     "Budget",
@@ -39,8 +40,10 @@ __all__ = [
     "ReproError",
     "StageError",
     "ValidatorError",
+    "WorkerError",
     "all_finite",
     "atomic_save_npz",
+    "backoff_delay",
     "check_finite",
     "load_npz",
     "retry_call",

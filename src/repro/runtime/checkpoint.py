@@ -90,6 +90,30 @@ def atomic_save_npz(
     return path
 
 
+def _damage_offset(path: Path) -> tuple:
+    """Locate where a damaged checkpoint stops being parseable.
+
+    Returns ``(offset, detail)``.  Heuristics over the zip container
+    that backs ``.npz``: a wrong magic number means the file was never
+    a checkpoint (offset 0); a missing end-of-central-directory record
+    means the tail was cut off (offset = file size, i.e. the byte where
+    the rest of the archive should have been); otherwise the EOCD
+    offset is reported so the caller can see how much of the file the
+    container actually accounts for.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        return 0, f"unreadable: {exc}"
+    size = len(data)
+    if size < 4 or not data.startswith(b"PK\x03\x04"):
+        return 0, f"bad zip magic at byte 0 (file is {size} bytes)"
+    eocd = data.rfind(b"PK\x05\x06")
+    if eocd == -1:
+        return size, f"truncated at byte {size}: no end-of-central-directory record"
+    return eocd, f"archive directory at byte {eocd} of {size} is inconsistent"
+
+
 def load_npz(path: Union[str, Path], require: tuple = ()) -> Dict[str, Any]:
     """Load a checkpoint written by :func:`atomic_save_npz`.
 
@@ -100,13 +124,14 @@ def load_npz(path: Union[str, Path], require: tuple = ()) -> Dict[str, Any]:
     """
     path = Path(path)
     if not path.exists():
-        raise CheckpointError(f"checkpoint not found: {path}")
+        raise CheckpointError(f"checkpoint not found: {path}", path=path)
     try:
         with np.load(path, allow_pickle=False) as data:
             files = set(data.files)
             if FORMAT_KEY not in files:
                 raise CheckpointError(
-                    f"{path} is not a repro checkpoint (missing {FORMAT_KEY})"
+                    f"{path} is not a repro checkpoint (missing {FORMAT_KEY})",
+                    path=path,
                 )
             out: Dict[str, Any] = {}
             for key in files - {FORMAT_KEY, META_KEY}:
@@ -117,8 +142,13 @@ def load_npz(path: Union[str, Path], require: tuple = ()) -> Dict[str, Any]:
     except CheckpointError:
         raise
     except Exception as exc:  # zipfile/ValueError/OSError → typed error
-        raise CheckpointError(f"corrupt or unreadable checkpoint {path}: {exc}") from exc
+        offset, detail = _damage_offset(path)
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path} ({detail}): {exc}",
+            path=path,
+            offset=offset,
+        ) from exc
     missing = [k for k in require if k not in out]
     if missing:
-        raise CheckpointError(f"checkpoint {path} missing keys {missing}")
+        raise CheckpointError(f"checkpoint {path} missing keys {missing}", path=path)
     return out

@@ -13,7 +13,10 @@ went wrong without string-matching messages:
   a caller asked for a hard stop (cooperative loops normally *return*
   a flagged best-so-far result instead of raising);
 * :class:`CheckpointError` — a checkpoint file is missing required
-  keys, truncated, or otherwise unreadable;
+  keys, truncated, or otherwise unreadable; carries the path and the
+  byte offset where parsing broke down when those are known;
+* :class:`WorkerError` — a parallel or serving worker failed while
+  processing a named task; carries the failing design name;
 * :class:`FaultInjected` — raised by the deterministic fault-injection
   harness (tests only); inherits :class:`ReproError` so guarded stages
   treat it like any real failure.
@@ -63,7 +66,50 @@ class BudgetExceeded(ReproError):
 
 
 class CheckpointError(ReproError):
-    """A checkpoint/weights file is corrupt, truncated, or incompatible."""
+    """A checkpoint/weights file is corrupt, truncated, or incompatible.
+
+    ``path`` and ``offset`` (when known) locate the damage: ``offset``
+    is the byte position where the archive stops being parseable — 0
+    for a wrong magic number, the truncation point for a cut-off file.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        self.path = str(path) if path is not None else None
+        self.offset = offset
+        super().__init__(message)
+
+
+class WorkerError(ReproError):
+    """A parallel/serving worker failed while processing a named task.
+
+    ``design`` names the failing work item (the experiment runners and
+    the serving layer both key work by design name); ``failures`` lists
+    every ``(label, error)`` pair when a fan-out saw several.  Partial
+    results, when the caller could salvage them, ride on ``results``.
+    """
+
+    def __init__(
+        self,
+        design: str,
+        detail: str = "",
+        failures: tuple = (),
+        results: Optional[list] = None,
+    ) -> None:
+        self.design = design
+        self.failures = list(failures)
+        self.results = results
+        msg = f"worker failed on {design!r}"
+        if detail:
+            msg += f": {detail}"
+        if len(self.failures) > 1:
+            others = ", ".join(repr(label) for label, _ in self.failures[1:])
+            msg += f" (also failed: {others})"
+        super().__init__(msg)
 
 
 class FaultInjected(ReproError):

@@ -1,21 +1,65 @@
 """Backoff-retry wrapper for flaky stages.
 
-Used by the hybrid refinement loop around the sign-off-lite validator:
-a transient probe failure is retried with (injectable) backoff, and
-only after the attempt budget is exhausted does the caller degrade to
-evaluator-only acceptance.  ``sleep`` is a parameter so tests (and the
-fault harness) substitute a :class:`~repro.runtime.budget.ManualClock`
-and retries cost zero real time.
+Used by the hybrid refinement loop around the sign-off-lite validator
+and by the serving layer's crash-requeue path: a transient failure is
+retried with exponential backoff (optionally jittered so a fleet of
+retries does not stampede in lockstep), and only after the attempt
+budget is exhausted does the caller degrade or quarantine.
+
+Everything time-shaped is injectable, mirroring
+:mod:`repro.runtime.budget`: ``sleep`` accepts either a plain callable
+or a :class:`~repro.runtime.budget.ManualClock` (its ``advance`` is
+used), so tests — and the fault harness — consume *virtual* time and
+retries cost zero real wall-clock.  Jitter draws from an injectable
+``random.Random`` so jittered schedules are reproducible.
 """
 
 from __future__ import annotations
 
+import random
 import time
-from typing import Callable, Tuple, Type, TypeVar
+from typing import Callable, Optional, Tuple, Type, TypeVar, Union
 
 from repro.runtime.errors import BudgetExceeded
 
 T = TypeVar("T")
+
+SleepLike = Union[Callable[[float], None], "object"]
+
+
+def _sleep_fn(sleep: SleepLike) -> Callable[[float], None]:
+    """Accept a sleep callable or a ManualClock-like object.
+
+    A :class:`~repro.runtime.budget.ManualClock` exposes ``sleep`` (an
+    alias of ``advance``); passing the clock itself therefore works the
+    same as passing ``clock.advance``.
+    """
+    if callable(sleep):
+        return sleep  # plain callable (time.sleep, ManualClock.advance)
+    attr = getattr(sleep, "sleep", None)
+    if callable(attr):
+        return attr
+    raise TypeError(f"sleep must be callable or expose .sleep; got {sleep!r}")
+
+
+def backoff_delay(
+    attempt: int,
+    base: float,
+    factor: float = 2.0,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Delay before retry number ``attempt`` (0-based) of a schedule.
+
+    ``base * factor**attempt``, scaled by a symmetric jitter of up to
+    ``jitter`` (a fraction in [0, 1]) when an ``rng`` is supplied or
+    jitter is nonzero.  Deterministic for a seeded ``rng``.
+    """
+    delay = base * (factor ** max(0, int(attempt)))
+    if jitter > 0.0 and delay > 0.0:
+        r = rng if rng is not None else random
+        delay *= 1.0 + jitter * (2.0 * r.random() - 1.0)
+    return max(0.0, delay)
 
 
 def retry_call(
@@ -24,18 +68,23 @@ def retry_call(
     attempts: int = 3,
     backoff: float = 0.0,
     backoff_factor: float = 2.0,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
     retry_on: Tuple[Type[BaseException], ...] = (Exception,),
-    sleep: Callable[[float], None] = time.sleep,
+    sleep: SleepLike = time.sleep,
     **kwargs,
 ) -> T:
     """Call ``fn`` up to ``attempts`` times; re-raise the last failure.
 
     :class:`BudgetExceeded` is never retried — an expired budget must
     propagate immediately, retrying it only burns more of nothing.
+
+    ``sleep`` may be a callable *or* a ManualClock (virtual time);
+    ``jitter``/``rng`` perturb the exponential schedule reproducibly.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
-    delay = backoff
+    do_sleep = _sleep_fn(sleep)
     last: BaseException = None
     for attempt in range(attempts):
         try:
@@ -44,7 +93,10 @@ def retry_call(
             raise
         except retry_on as exc:
             last = exc
-            if attempt + 1 < attempts and delay > 0:
-                sleep(delay)
-                delay *= backoff_factor
+            if attempt + 1 < attempts and backoff > 0:
+                do_sleep(
+                    backoff_delay(
+                        attempt, backoff, backoff_factor, jitter=jitter, rng=rng
+                    )
+                )
     raise last

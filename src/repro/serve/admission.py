@@ -1,0 +1,95 @@
+"""Admission control and load shedding for the sign-off service.
+
+A bounded queue is the backpressure primitive: once ``max_pending``
+jobs are waiting (or a kind's own quota is full), new work is **shed at
+the door** with a ``retry_after`` hint instead of growing an unbounded
+backlog that would blow latency for everything already accepted.
+
+The retry-after estimate is deliberately simple and deterministic: the
+queue's current depth times the exponentially-weighted mean service
+time, divided by the worker count — "when your slot would plausibly
+come up".  The service keeps the EWMA fed from completed-job latencies.
+
+Overloaded ``signoff`` queries can degrade instead of shedding: the
+service answers from the last-known incremental STA state flagged
+``stale=True`` (see ``SignoffService.submit``); the controller only
+decides *accept vs shed*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.serve.jobs import Job
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Backpressure knobs (docs/SERVING.md)."""
+
+    max_pending: int = 64  # total queued (not yet running) jobs
+    #: Optional per-kind quotas; a kind absent here only honours the
+    #: global bound.  Batch kinds typically get small quotas so a train
+    #: storm cannot crowd out interactive queries.
+    max_pending_per_kind: Mapping[str, int] = field(default_factory=dict)
+    #: Floor for retry_after hints when no latency history exists yet.
+    min_retry_after: float = 0.05
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    reason: str = ""
+    retry_after: Optional[float] = None
+
+
+class AdmissionController:
+    """Decides accept vs shed from queue depth and service-time EWMA."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._ewma_latency: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def observe_latency(self, seconds: float, alpha: float = 0.3) -> None:
+        """Feed one completed job's service latency into the EWMA."""
+        seconds = max(0.0, float(seconds))
+        if self._ewma_latency is None:
+            self._ewma_latency = seconds
+        else:
+            self._ewma_latency += alpha * (seconds - self._ewma_latency)
+
+    def retry_after(self, pending: int, workers: int) -> float:
+        """Deterministic hint: backlog drain time at current throughput."""
+        base = self._ewma_latency if self._ewma_latency is not None else 0.0
+        workers = max(1, int(workers))
+        estimate = (pending + 1) * base / workers
+        return max(self.config.min_retry_after, estimate)
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        job: Job,
+        pending: int,
+        pending_by_kind: Dict[str, int],
+        workers: int,
+    ) -> AdmissionDecision:
+        cfg = self.config
+        quota = cfg.max_pending_per_kind.get(job.kind)
+        if quota is not None and pending_by_kind.get(job.kind, 0) >= quota:
+            return AdmissionDecision(
+                False,
+                reason=f"{job.kind} quota full ({quota} pending)",
+                retry_after=self.retry_after(pending, workers),
+            )
+        if pending >= cfg.max_pending:
+            return AdmissionDecision(
+                False,
+                reason=f"queue saturated ({pending}/{cfg.max_pending} pending)",
+                retry_after=self.retry_after(pending, workers),
+            )
+        return AdmissionDecision(True)
+
+
+__all__ = ["AdmissionConfig", "AdmissionController", "AdmissionDecision"]

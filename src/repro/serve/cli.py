@@ -1,0 +1,180 @@
+"""``python -m repro serve`` — run the service under synthetic load.
+
+The subcommand spins up a :class:`~repro.serve.service.SignoffService`,
+drives it with the seeded traffic of :mod:`repro.serve.loadgen`, prints
+a terminal accounting and exits nonzero if any accepted job was lost —
+the invariant the CI ``serve-smoke`` job enforces (with ``--chaos``
+adding deterministic worker kills, queue delays and one checkpoint
+corruption on top).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.obs import Telemetry, setup_logging, telemetry_session
+from repro.serve.admission import AdmissionConfig
+from repro.serve.chaos import (
+    ChaosMonkey,
+    CorruptCheckpoint,
+    DelayDispatch,
+    KillWorker,
+)
+from repro.serve.loadgen import TrafficConfig, run_load
+from repro.serve.service import SignoffService
+from repro.serve.state import WarmStateCache
+
+
+def _say(line: str) -> None:
+    """CLI stdout (the lint gate reserves bare print for __main__.py)."""
+    sys.stdout.write(line + "\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve sign-off queries under synthetic load "
+        "(docs/SERVING.md).",
+    )
+    parser.add_argument("--jobs", type=int, default=24, help="jobs to submit")
+    parser.add_argument(
+        "--designs",
+        default="spm",
+        help="comma-separated design names (default: spm)",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="async workers")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="design scale factor"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="traffic seed")
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission-control queue bound (jobs beyond it are shed)",
+    )
+    parser.add_argument(
+        "--refine-iterations",
+        type=int,
+        default=4,
+        help="iterations per refine job",
+    )
+    parser.add_argument(
+        "--process-jobs",
+        type=int,
+        default=0,
+        help="run refine/train in N worker processes (0 = in-process)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject deterministic faults: kill a worker mid-refine, "
+        "delay dispatches, corrupt one checkpoint",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for refine/train job checkpoints "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a telemetry trace (JSONL) to PATH; summarize with "
+        "`python -m repro report PATH`",
+    )
+    parser.add_argument("--verbose", "-v", action="count", default=0)
+    parser.add_argument("--quiet", "-q", action="count", default=0)
+    return parser
+
+
+def default_chaos() -> ChaosMonkey:
+    """The --chaos fault plan: one of each injected fault, deterministic."""
+    return ChaosMonkey(
+        # Kill the worker mid-refinement on the first attempt.  Ticks 1-2
+        # are adaptive-theta probes and tick 3 is iteration 1; by tick 4
+        # a checkpoint is on disk, so the retry exercises resume.
+        KillWorker(job="refine", on_attempt=1, at_tick=4),
+        # ... and corrupt that checkpoint while the job is down, so the
+        # retry exercises CheckpointError recovery too.
+        CorruptCheckpoint(job="refine", keep_bytes=64, once=True),
+        # Stall one signoff dispatch (injectable sleep, real time here).
+        DelayDispatch(job="signoff", on_attempt=1, seconds=0.01),
+    )
+
+
+async def _serve(args, chaos, checkpoint_dir: Path):
+    warm = WarmStateCache(scale=args.scale)
+    service = SignoffService(
+        warm=warm,
+        workers=args.workers,
+        admission=AdmissionConfig(max_pending=args.max_pending),
+        chaos=chaos,
+        checkpoint_dir=checkpoint_dir,
+        process_jobs=args.process_jobs,
+    )
+    traffic = TrafficConfig(
+        jobs=args.jobs,
+        designs=tuple(
+            name.strip() for name in args.designs.split(",") if name.strip()
+        ),
+        seed=args.seed,
+        refine_iterations=args.refine_iterations,
+    )
+    async with service:
+        report = await run_load(service, traffic)
+    return service, report
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    setup_logging(args.verbose - args.quiet)
+    chaos = default_chaos() if args.chaos else None
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            tel = stack.enter_context(Telemetry(path=args.trace))
+            stack.enter_context(telemetry_session(tel))
+        if args.checkpoint_dir is not None:
+            ckpt_dir = Path(args.checkpoint_dir)
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            ckpt_dir = Path(stack.enter_context(tempfile.TemporaryDirectory()))
+        service, report = asyncio.run(_serve(args, chaos, ckpt_dir))
+
+    summary = report.summary()
+    _say("=== serve summary ===")
+    _say(
+        "submitted {submitted}  done {done}  shed {shed}  "
+        "stale {stale}  quarantined {quarantined}".format(**summary)
+    )
+    _say(
+        f"retried jobs {summary['retried_jobs']}  "
+        f"timed out {summary['timed_out']}  "
+        f"worker deaths {service.stats.worker_deaths}  "
+        f"restarts {service.stats.worker_restarts}"
+    )
+    _say(
+        "by kind: "
+        + "  ".join(f"{k}={v}" for k, v in sorted(summary["by_kind"].items()))
+    )
+    if chaos is not None:
+        _say(
+            f"chaos: kills {chaos.kills_fired}  delays {chaos.delays_fired}  "
+            f"corruptions {chaos.corruptions_fired}"
+        )
+    if args.trace:
+        _say(f"telemetry trace written to {args.trace}")
+    if summary["lost"] != 0:
+        _say(f"LOST JOBS: {summary['lost']} accepted jobs never resolved")
+        return 1
+    _say("lost 0")
+    return 0
+
+
+__all__ = ["build_parser", "default_chaos", "main"]

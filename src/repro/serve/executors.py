@@ -1,0 +1,90 @@
+"""Job executors: in-process async handlers and a process-backed pool.
+
+The service's workers are asyncio coroutines; *where the handler body
+runs* is the executor's choice:
+
+* :class:`InlineExecutor` — the handler runs in the event loop process
+  and shares the service's :class:`~repro.serve.state.WarmStateCache`
+  directly.  This is the default: cheap queries (``whatif``,
+  ``signoff``) stay on the warm incremental STA state, and the chaos
+  harness can heartbeat-kill deterministically mid-handler.
+* :class:`ProcessExecutor` — CPU-heavy ``refine``/``train`` jobs ship
+  to a worker process through the same ``ProcessPoolExecutor`` idiom as
+  :mod:`repro.experiments.parallel`; each worker process pins its own
+  module-level warm cache (:mod:`repro.serve.handlers`), so repeated
+  jobs for one design stay warm *per process*.  A worker process that
+  dies surfaces as :class:`~repro.serve.chaos.WorkerKilled`, which
+  drops the job into the exact same supervised requeue path as an
+  in-process worker death — one crash-recovery story for both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Optional
+
+from repro.serve.chaos import WorkerKilled
+
+
+class InlineExecutor:
+    """Run the handler in the event-loop process (sync or async)."""
+
+    async def run(self, handler, job, ctx) -> Any:
+        result = handler(job, ctx)
+        if inspect.isawaitable(result):
+            result = await result
+        return result
+
+    async def aclose(self) -> None:
+        pass
+
+
+class ProcessExecutor:
+    """Run handlers that expose a picklable ``remote`` entry in a pool.
+
+    A handler opts in by carrying two attributes (see
+    :func:`repro.serve.handlers.default_handlers`):
+
+    * ``handler.remote`` — a module-level function of one payload;
+    * ``handler.payload(job, ctx)`` — builds that picklable payload.
+
+    Handlers without them fall back to inline execution.  A broken pool
+    (worker process death) is rebuilt lazily and the job's failure is
+    raised as :class:`WorkerKilled` so the supervisor requeues it with
+    bounded attempts.
+    """
+
+    def __init__(self, max_workers: int = 2) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inline = InlineExecutor()
+
+    async def run(self, handler, job, ctx) -> Any:
+        remote = getattr(handler, "remote", None)
+        payload_fn = getattr(handler, "payload", None)
+        if remote is None or payload_fn is None:
+            return await self._inline.run(handler, job, ctx)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._pool, remote, payload_fn(job, ctx)
+            )
+        except BrokenProcessPool as exc:
+            # The worker process died mid-job; scrap the pool (it is
+            # unusable) and let the supervisor requeue the job.
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise WorkerKilled(f"executor process died: {exc}") from exc
+
+    async def aclose(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+__all__ = ["InlineExecutor", "ProcessExecutor"]

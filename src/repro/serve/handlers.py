@@ -1,0 +1,337 @@
+"""Default job handlers: the paper's queries over warm design state.
+
+A handler is ``handler(job, ctx) -> dict`` (sync or async); ``ctx`` is
+the :class:`~repro.serve.service.JobContext` carrying the per-job
+budget, checkpoint path, attempt index and the cooperative
+``heartbeat`` the chaos harness hooks.  :func:`default_handlers` wires
+the four kinds over one shared :class:`~repro.serve.state.WarmStateCache`.
+
+Durability contract (docs/SERVING.md): ``refine`` and ``train`` jobs
+snapshot through :mod:`repro.runtime.checkpoint` at every iteration /
+epoch; on a retry after a worker death the handler resumes from the
+snapshot — byte-identical to an uninterrupted run (PR 1's guarantee) —
+and a checkpoint the chaos harness corrupted surfaces as
+:class:`~repro.runtime.errors.CheckpointError`, which the handler
+answers by discarding the snapshot and restarting clean (deterministic,
+so it still converges to the fault-free answer).
+
+For the process-backed executor each default handler exposes a
+module-level ``remote`` function plus a ``payload`` builder; worker
+processes keep their own module-global warm cache so consecutive jobs
+for one design stay warm per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_telemetry
+from repro.runtime.errors import CheckpointError
+from repro.serve.jobs import KIND_REFINE, KIND_SIGNOFF, KIND_TRAIN, KIND_WHATIF
+from repro.serve.state import WarmStateCache
+
+
+def _coords_digest(coords: np.ndarray) -> str:
+    """Stable fingerprint of a coordinate array (byte-identity checks)."""
+    return hashlib.sha256(np.ascontiguousarray(coords).tobytes()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# whatif — move one Steiner point, report the slack delta, revert
+# ----------------------------------------------------------------------
+def _whatif(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
+    ws = cache.workspace(job.design)
+    ctx.heartbeat()
+    inc = ws.incremental()
+    forest = ws.forest
+    coords = forest.get_steiner_coords()
+    base = inc.run()
+    baseline = {
+        "design": job.design,
+        "wns": float(base.wns),
+        "tns": float(base.tns),
+        "stale": False,
+    }
+    ws.record_signoff(baseline)
+    if coords.shape[0] == 0:
+        return dict(baseline, point=None, delta_wns=0.0, delta_tns=0.0)
+    idx = int(job.params.get("point", 0)) % coords.shape[0]
+    dx = float(job.params.get("dx", 0.0))
+    dy = float(job.params.get("dy", 0.0))
+    moved = coords.copy()
+    moved[idx, 0] += dx
+    moved[idx, 1] += dy
+    forest.set_steiner_coords(forest.clamp_coords(moved))
+    try:
+        probe = inc.run()
+    finally:
+        # What-if never commits: restore the warm state's coordinates.
+        forest.set_steiner_coords(coords)
+    return {
+        "design": job.design,
+        "point": idx,
+        "dx": dx,
+        "dy": dy,
+        "wns": float(probe.wns),
+        "tns": float(probe.tns),
+        "delta_wns": float(probe.wns - base.wns),
+        "delta_tns": float(probe.tns - base.tns),
+        "dirty_trees": int(inc.last_dirty_trees),
+        "stale": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# signoff — full WNS/TNS report, optionally under MCMM corners
+# ----------------------------------------------------------------------
+def _signoff(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
+    ws = cache.workspace(job.design)
+    ctx.heartbeat()
+    corners = tuple(job.params.get("corners") or ())
+    mode = str(job.params.get("mode", "func"))
+    if corners and (corners != ("typ",) or mode != "func"):
+        sta = ws.scenario_sta(corners, mode=mode)
+        rep = sta.run()
+        value = {
+            "design": job.design,
+            "wns": float(rep.merged_wns),
+            "tns": float(rep.merged_tns),
+            "corners": list(corners),
+            "mode": mode,
+            "scenarios": {m.name: float(m.wns) for m in rep.scenarios},
+            "stale": False,
+        }
+    else:
+        rep = ws.incremental().run()
+        value = {
+            "design": job.design,
+            "wns": float(rep.wns),
+            "tns": float(rep.tns),
+            "stale": False,
+        }
+    ws.signoff_queries += 1
+    ws.record_signoff(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# refine — Algorithm 1 over the warm graph, committed on success
+# ----------------------------------------------------------------------
+def _refine(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
+    from repro.core.refine import RefinementConfig, refine
+
+    ws = cache.workspace(job.design)
+    graph = ws.timing_graph()
+    model = cache.evaluator()
+    iterations = int(job.params.get("iterations", 10))
+    cfg = RefinementConfig(
+        max_iterations=iterations,
+        # Evaluator-only acceptance keeps the serving hot path free of
+        # router probes; a sign-off query re-judges the committed
+        # coordinates with the real incremental STA.
+        acceptance="evaluator",
+        polish_probes=0,
+    )
+
+    def clamp(c: np.ndarray) -> np.ndarray:
+        # One cooperative heartbeat per Algorithm 1 iteration: the
+        # chaos harness kills deterministically mid-refinement here.
+        ctx.heartbeat()
+        return ws.forest.clamp_coords(c)
+
+    initial = ws.forest.get_steiner_coords()
+    ckpt = ctx.checkpoint_path
+    resume = bool(ctx.attempt > 0 and ckpt is not None and Path(ckpt).exists())
+    try:
+        result = refine(
+            model,
+            graph,
+            initial,
+            config=cfg,
+            clamp_fn=clamp,
+            budget=ctx.budget,
+            checkpoint_path=ckpt,
+            resume=resume,
+        )
+    except CheckpointError as exc:
+        # A corrupted snapshot must not strand the job: drop it and
+        # restart clean — refinement is deterministic, so the answer
+        # still matches the fault-free run (docs/SERVING.md).
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("serve.checkpoint_resets")
+            tel.event(
+                "serve_checkpoint_reset",
+                job=job.job_id,
+                path=exc.path,
+                offset=exc.offset,
+                error=str(exc),
+            )
+        if ckpt is not None:
+            Path(ckpt).unlink(missing_ok=True)
+        result = refine(
+            model,
+            graph,
+            initial,
+            config=cfg,
+            clamp_fn=clamp,
+            budget=ctx.budget,
+            checkpoint_path=ckpt,
+            resume=False,
+        )
+    ws.forest.set_steiner_coords(result.coords)
+    ws.invalidate_timing()
+    return {
+        "design": job.design,
+        "iterations": int(result.iterations),
+        "accepted": int(result.accepted),
+        "init_wns": float(result.init_wns),
+        "init_tns": float(result.init_tns),
+        "best_wns": float(result.best_wns),
+        "best_tns": float(result.best_tns),
+        "coords_digest": _coords_digest(result.coords),
+        "resumed": bool(result.resumed),
+        "timed_out": bool(result.timed_out),
+        "stale": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# train — (re)train the shared evaluator; checkpointed per epoch
+# ----------------------------------------------------------------------
+def _train(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
+    from repro.flow.pipeline import make_training_samples
+    from repro.timing_model.train import TrainerConfig, train_evaluator
+
+    designs = tuple(job.params.get("designs") or ((job.design,) if job.design else ()))
+    if not designs:
+        raise ValueError("train job needs params['designs'] or a design")
+    ctx.heartbeat()
+    epochs = int(job.params.get("epochs", 10))
+    augment = int(job.params.get("augment", 0))
+    samples = make_training_samples(
+        designs, scale=cache.scale, train_names=designs, augment=augment
+    )
+    model = cache.evaluator()
+    tcfg = TrainerConfig(epochs=epochs, patience=max(epochs, 1))
+    ckpt = ctx.checkpoint_path
+    resume = bool(ctx.attempt > 0 and ckpt is not None and Path(ckpt).exists())
+    try:
+        result = train_evaluator(
+            model,
+            samples,
+            tcfg,
+            budget=ctx.budget,
+            checkpoint_path=ckpt,
+            resume=resume,
+        )
+    except CheckpointError as exc:
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("serve.checkpoint_resets")
+            tel.event(
+                "serve_checkpoint_reset",
+                job=job.job_id,
+                path=exc.path,
+                offset=exc.offset,
+                error=str(exc),
+            )
+        if ckpt is not None:
+            Path(ckpt).unlink(missing_ok=True)
+        result = train_evaluator(
+            model, samples, tcfg, budget=ctx.budget,
+            checkpoint_path=ckpt, resume=False,
+        )
+    cache.set_evaluator(model)
+    return {
+        "designs": list(designs),
+        "epochs_run": len(result.losses),
+        "final_loss": float(result.final_loss),
+        "timed_out": bool(result.timed_out),
+        "resumed": bool(result.resumed),
+        "stale": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# Process-backed execution: module-level entries + per-process cache
+# ----------------------------------------------------------------------
+_PROC_CACHE: Optional[WarmStateCache] = None
+_PROC_SCALE: float = 1.0
+
+_REMOTE_FNS = {}
+
+
+def _proc_cache(scale: float) -> WarmStateCache:
+    global _PROC_CACHE, _PROC_SCALE
+    if _PROC_CACHE is None or _PROC_SCALE != scale:
+        _PROC_CACHE = WarmStateCache(scale=scale)
+        _PROC_SCALE = scale
+    return _PROC_CACHE
+
+
+def remote_job(payload: Tuple[str, str, Dict[str, Any], float, Optional[str], int]):
+    """Top-level (picklable) process-pool entry for one job.
+
+    Rebuilds a minimal job/ctx in the worker process and dispatches to
+    the same handler bodies; the worker's module-global cache keeps its
+    designs warm across consecutive jobs.
+    """
+    kind, design, params, scale, checkpoint_path, attempt = payload
+    from repro.serve.jobs import Job
+    from repro.serve.service import JobContext
+
+    cache = _proc_cache(scale)
+    job = Job(kind=kind, design=design, params=dict(params))
+    job.attempts = attempt + 1
+    ctx = JobContext(
+        job=job, attempt=attempt, checkpoint_path=checkpoint_path
+    )
+    return _REMOTE_FNS[kind](cache, job, ctx)
+
+
+_REMOTE_FNS.update(
+    {
+        KIND_WHATIF: _whatif,
+        KIND_SIGNOFF: _signoff,
+        KIND_REFINE: _refine,
+        KIND_TRAIN: _train,
+    }
+)
+
+
+def default_handlers(cache: Optional[WarmStateCache] = None) -> Dict[str, Any]:
+    """The four default handlers bound to one warm cache.
+
+    Each handler carries ``remote``/``payload`` attributes so the
+    :class:`~repro.serve.executors.ProcessExecutor` can ship it to a
+    worker process without pickling the cache itself.
+    """
+    cache = cache if cache is not None else WarmStateCache()
+    handlers: Dict[str, Any] = {}
+    for kind, fn in _REMOTE_FNS.items():
+
+        def handler(job, ctx, _fn=fn):
+            return _fn(cache, job, ctx)
+
+        def payload(job, ctx, _kind=kind):
+            return (
+                _kind,
+                job.design,
+                dict(job.params),
+                cache.scale,
+                str(ctx.checkpoint_path) if ctx.checkpoint_path else None,
+                ctx.attempt,
+            )
+
+        handler.remote = remote_job
+        handler.payload = payload
+        handlers[kind] = handler
+    return handlers
+
+
+__all__ = ["default_handlers", "remote_job"]

@@ -1,0 +1,136 @@
+"""Typed job model for the sign-off service.
+
+The paper's concurrent sign-off loop is query-shaped — "move this
+Steiner point, re-judge slack" — so the serving layer speaks four job
+kinds, ordered by interactivity:
+
+* ``whatif``   — move one Steiner point, report the slack delta, revert;
+* ``signoff``  — full WNS/TNS report for a design (optionally under
+  MCMM corners);
+* ``refine``   — run Algorithm 1 for N iterations and commit the
+  improved coordinates into the warm design state;
+* ``train``    — (re)train the evaluator the refine jobs consume.
+
+Interactive kinds preempt batch kinds on the priority queue; a job may
+override its kind's default priority.  All lifecycle state lives on the
+:class:`Job` itself so the chaos tests can assert exactly where every
+accepted job ended up: ``done`` or ``quarantined``, never silently
+lost (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Job kinds, interactive first.
+KIND_WHATIF = "whatif"
+KIND_SIGNOFF = "signoff"
+KIND_REFINE = "refine"
+KIND_TRAIN = "train"
+JOB_KINDS = (KIND_WHATIF, KIND_SIGNOFF, KIND_REFINE, KIND_TRAIN)
+
+#: Default queue priority per kind (lower value = served first).
+DEFAULT_PRIORITY = {
+    KIND_WHATIF: 0,
+    KIND_SIGNOFF: 0,
+    KIND_REFINE: 2,
+    KIND_TRAIN: 3,
+}
+
+# Lifecycle states (see the state machine in docs/SERVING.md).
+PENDING = "pending"  # accepted, waiting on the queue
+RUNNING = "running"  # picked up by a worker
+DONE = "done"  # handler returned (possibly stale/timed_out flagged)
+QUARANTINED = "quarantined"  # max attempts exhausted; error captured
+REJECTED = "rejected"  # shed by admission control (never accepted)
+
+
+@dataclass
+class Job:
+    """One unit of work accepted (or shed) by the service."""
+
+    kind: str
+    design: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    priority: Optional[int] = None  # None -> DEFAULT_PRIORITY[kind]
+    deadline_s: Optional[float] = None  # per-job wall budget (virtual clock)
+    max_attempts: Optional[int] = None  # None -> service default
+    # -- bookkeeping stamped by the service ---------------------------
+    job_id: str = ""
+    status: str = PENDING
+    attempts: int = 0  # execution attempts started so far
+    submitted_t: float = 0.0
+    error: Optional[str] = None  # last failure (quarantine reason)
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; expected {JOB_KINDS}")
+
+    def effective_priority(self) -> int:
+        if self.priority is not None:
+            return int(self.priority)
+        return DEFAULT_PRIORITY[self.kind]
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome delivered through the ticket future.
+
+    Quarantined and shed jobs resolve with ``ok=False`` (plus ``error``
+    / ``retry_after``) rather than raising, so a load generator can
+    tally outcomes without wrapping every await in try/except.
+    """
+
+    job_id: str
+    kind: str
+    design: str
+    ok: bool
+    value: Any = None
+    stale: bool = False  # served from last-known state under overload
+    timed_out: bool = False  # deadline expired; value is best-so-far
+    attempts: int = 0
+    latency: float = 0.0  # submit -> resolve, in (virtual) seconds
+    error: Optional[str] = None
+    retry_after: Optional[float] = None  # set on shed (admission) results
+    status: str = DONE
+
+
+class JobTicket:
+    """Handle returned by ``SignoffService.submit``.
+
+    ``await ticket.wait()`` (or ``ticket.future``) resolves to the
+    :class:`JobResult`; ``ticket.job`` exposes live lifecycle state.
+    """
+
+    __slots__ = ("job", "future")
+
+    def __init__(self, job: Job, future: "asyncio.Future[JobResult]") -> None:
+        self.job = job
+        self.future = future
+
+    async def wait(self) -> JobResult:
+        return await self.future
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "DONE",
+    "JOB_KINDS",
+    "Job",
+    "JobResult",
+    "JobTicket",
+    "KIND_REFINE",
+    "KIND_SIGNOFF",
+    "KIND_TRAIN",
+    "KIND_WHATIF",
+    "PENDING",
+    "QUARANTINED",
+    "REJECTED",
+    "RUNNING",
+]

@@ -1,0 +1,172 @@
+"""Per-design warm state pinned by the serving workers.
+
+The whole point of a long-lived service over the batch reproduction is
+that the expensive per-design artifacts stay hot between queries:
+
+* the prepared design (placed netlist + Steiner forest),
+* the STA engine with its FlatForest topology caches,
+* the :class:`~repro.sta.incremental.IncrementalSTA` dirty-tree state
+  (a what-if move re-times only the affected cones),
+* MCMM :class:`~repro.mcmm.sta.ScenarioSTA` objects per corner set,
+* the :class:`~repro.timing_model.graph.TimingGraph` + compiled tapes
+  the refine jobs consume,
+* the trained evaluator, shared across designs and swappable by a
+  ``train`` job.
+
+:class:`DesignWorkspace` owns all of that for one design;
+:class:`WarmStateCache` memoizes workspaces by name.  The workspace
+also keeps the **last-known sign-off report** — the graceful-degradation
+path answers overloaded ``signoff`` queries from it, flagged
+``stale=True``, instead of shedding them (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import get_telemetry
+
+
+class DesignWorkspace:
+    """Warm timing state for one design; built lazily, queried often."""
+
+    def __init__(self, name: str, scale: float = 1.0) -> None:
+        self.name = name
+        self.scale = float(scale)
+        self.netlist = None
+        self.forest = None
+        self.engine = None
+        self._inc = None
+        self._scenario_stas: Dict[Tuple[str, ...], Any] = {}
+        self._graph = None
+        self._congestion = None
+        #: Last completed sign-off summary (the stale-answer source).
+        self.last_signoff: Optional[Dict[str, Any]] = None
+        self.signoff_queries = 0
+
+    # ------------------------------------------------------------------
+    def ensure_loaded(self) -> "DesignWorkspace":
+        """Prepare the design once (deterministic geometry)."""
+        if self.netlist is None:
+            from repro.flow.pipeline import prepare_design
+            from repro.sta.engine import STAEngine
+
+            tel = get_telemetry()
+            with tel.span("serve.warm_design", design=self.name):
+                self.netlist, self.forest = prepare_design(self.name, scale=self.scale)
+                self.engine = STAEngine(self.netlist)
+            if tel.enabled:
+                tel.count("serve.designs_warmed")
+        return self
+
+    def incremental(self):
+        """The pinned IncrementalSTA (neutral scenario)."""
+        if self._inc is None:
+            from repro.sta.incremental import IncrementalSTA
+
+            self.ensure_loaded()
+            self._inc = IncrementalSTA(self.netlist, self.forest, engine=self.engine)
+        return self._inc
+
+    def scenario_sta(self, corners: Tuple[str, ...], mode: str = "func"):
+        """A pinned ScenarioSTA for an MCMM corner set (docs/MCMM.md)."""
+        key = tuple(corners) + ("@", mode)
+        sta = self._scenario_stas.get(key)
+        if sta is None:
+            from repro.mcmm.scenario import ScenarioSet
+            from repro.mcmm.sta import ScenarioSTA
+
+            self.ensure_loaded()
+            scenarios = ScenarioSet.from_names(tuple(corners), modes=(mode,))
+            sta = ScenarioSTA(self.netlist, self.forest, scenarios, engine=self.engine)
+            self._scenario_stas[key] = sta
+        return sta
+
+    def timing_graph(self):
+        """The memoized TimingGraph (congestion probed once, reused)."""
+        if self._graph is None:
+            from repro.core.tsteiner import TSteiner
+            from repro.timing_model.graph import build_timing_graph
+
+            self.ensure_loaded()
+            tel = get_telemetry()
+            with tel.span("serve.build_graph", design=self.name):
+                self._congestion = TSteiner._congestion_probe(self.netlist, self.forest)
+                self._graph = build_timing_graph(
+                    self.netlist, self.forest, congestion=self._congestion
+                )
+        return self._graph
+
+    # ------------------------------------------------------------------
+    def invalidate_timing(self) -> None:
+        """Drop incremental caches after committed coordinate changes."""
+        if self._inc is not None:
+            self._inc.invalidate()
+        for sta in self._scenario_stas.values():
+            sta.invalidate()
+
+    def record_signoff(self, summary: Dict[str, Any]) -> None:
+        """Remember the last good sign-off answer for degraded serving."""
+        self.last_signoff = dict(summary)
+
+    def stale_answer(self) -> Optional[Dict[str, Any]]:
+        """Copy of the last-known report, marked stale; None if cold."""
+        if self.last_signoff is None:
+            return None
+        answer = dict(self.last_signoff)
+        answer["stale"] = True
+        return answer
+
+
+class WarmStateCache:
+    """Process-level workspace cache plus the shared evaluator.
+
+    Thread-safe construction (the process-backed executor's worker
+    processes each hold their own module-level instance); asyncio
+    workers in the parent share this one object, which is what makes a
+    committed ``refine`` immediately visible to ``signoff`` queries.
+    """
+
+    def __init__(self, scale: float = 1.0, evaluator_config=None) -> None:
+        self.scale = float(scale)
+        self._lock = threading.Lock()
+        self._workspaces: Dict[str, DesignWorkspace] = {}
+        self._evaluator = None
+        self._evaluator_config = evaluator_config
+
+    def workspace(self, name: str) -> DesignWorkspace:
+        with self._lock:
+            ws = self._workspaces.get(name)
+            if ws is None:
+                ws = self._workspaces[name] = DesignWorkspace(name, scale=self.scale)
+        return ws.ensure_loaded()
+
+    def peek(self, name: str) -> Optional[DesignWorkspace]:
+        """Existing workspace or None — never triggers a design build.
+
+        The degraded-serving path uses this: a saturated queue must not
+        pay for warming a cold design just to discover there is no
+        stale answer to give.
+        """
+        with self._lock:
+            return self._workspaces.get(name)
+
+    # ------------------------------------------------------------------
+    def evaluator(self):
+        """The shared evaluator; deterministic fresh weights until a
+        ``train`` job installs better ones."""
+        with self._lock:
+            if self._evaluator is None:
+                from repro.timing_model.model import EvaluatorConfig, TimingEvaluator
+
+                cfg = self._evaluator_config or EvaluatorConfig(hidden=16)
+                self._evaluator = TimingEvaluator(cfg)
+            return self._evaluator
+
+    def set_evaluator(self, model) -> None:
+        with self._lock:
+            self._evaluator = model
+
+
+__all__ = ["DesignWorkspace", "WarmStateCache"]

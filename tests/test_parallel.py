@@ -23,6 +23,14 @@ def _square(x):
     return x * x
 
 
+def _explode_on_marked(payload):
+    """Picklable task that fails for marked designs only."""
+    name, marked = payload
+    if marked:
+        raise RuntimeError(f"synthetic failure in {name}")
+    return name.upper()
+
+
 def _traced_square(x):
     tel = get_telemetry()
     tel.count("test.calls")
@@ -91,6 +99,42 @@ class TestParallelMap:
         # Serial path: raises directly.
         with pytest.raises(ValueError):
             parallel_map(boom, [1], jobs=1)
+
+    def test_pool_failure_is_typed_and_names_the_design(self):
+        from repro.runtime import WorkerError
+
+        items = [("spm", False), ("usb_cdc_core", True), ("cic_decimator", False)]
+        with pytest.raises(WorkerError) as info:
+            parallel_map(_explode_on_marked, items, jobs=2)
+        err = info.value
+        # The failing design is named — no raw pool traceback to parse.
+        assert err.design == "usb_cdc_core"
+        assert "usb_cdc_core" in str(err)
+        assert "RuntimeError: synthetic failure" in str(err)
+        assert err.failures == [("usb_cdc_core", "RuntimeError: synthetic failure in usb_cdc_core")]
+        # The sibling tasks still completed; their results are salvaged.
+        assert err.results[0] == "SPM"
+        assert err.results[2] == "CIC_DECIMATOR"
+        assert err.results[1] is None
+
+    def test_multiple_failures_collected_into_one_error(self, tmp_path):
+        from repro.obs import Telemetry, telemetry_session
+        from repro.runtime import WorkerError
+
+        items = [("a", True), ("b", False), ("c", True)]
+        with Telemetry(path=str(tmp_path / "t.jsonl")) as tel:
+            with telemetry_session(tel):
+                with pytest.raises(WorkerError) as info:
+                    parallel_map(_explode_on_marked, items, jobs=2)
+            snap = tel.metrics_snapshot()
+        err = info.value
+        assert err.design == "a"
+        assert [d for d, _ in err.failures] == ["a", "c"]
+        assert "also failed" in str(err) and "'c'" in str(err)
+        assert snap["counters"]["parallel.task_failures"] == 2
+        events = [json.loads(l) for l in (tmp_path / "t.jsonl").read_text().splitlines()]
+        failed = [e for e in events if e["kind"] == "parallel_task_failed"]
+        assert {e["design"] for e in failed} == {"a", "c"}
 
     def test_worker_traces_stitched(self, tmp_path):
         with Telemetry(path=str(tmp_path / "t.jsonl")) as tel:

@@ -6,6 +6,8 @@ guards, the fault-injection harness, the hardened adaptive stepsize,
 and the atomic evaluator serializer.
 """
 
+import random
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,7 @@ from repro.runtime import (
     Budget,
     BudgetExceeded,
     CheckpointError,
+    backoff_delay,
     FaultInjected,
     ManualClock,
     NumericalError,
@@ -117,11 +120,32 @@ class TestAtomicCheckpoint:
         with pytest.raises(CheckpointError):
             load_npz(path)
 
+    def test_truncated_file_reports_path_and_offset(self, tmp_path):
+        path = tmp_path / "state.npz"
+        atomic_save_npz(path, {"x": np.arange(100.0)})
+        raw = path.read_bytes()
+        keep = len(raw) // 2
+        path.write_bytes(raw[:keep])
+        with pytest.raises(CheckpointError) as info:
+            load_npz(path)
+        # The error is actionable: which file, and where the bytes stop.
+        assert info.value.path == str(path)
+        assert info.value.offset == keep
+        assert str(path) in str(info.value)
+        assert "truncated" in str(info.value)
+
     def test_garbage_file(self, tmp_path):
         path = tmp_path / "state.npz"
         path.write_bytes(b"this is not a zip archive")
         with pytest.raises(CheckpointError):
             load_npz(path)
+
+    def test_garbage_file_offset_is_zero(self, tmp_path):
+        path = tmp_path / "state.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError) as info:
+            load_npz(path)
+        assert info.value.offset == 0  # wrong from the first byte
 
     def test_foreign_npz_rejected(self, tmp_path):
         path = tmp_path / "foreign.npz"
@@ -181,6 +205,59 @@ class TestRetry:
         with pytest.raises(BudgetExceeded):
             retry_call(fn, attempts=5)
         assert calls["n"] == 1
+
+    def test_manual_clock_accepted_directly_as_sleep(self):
+        clock = ManualClock()
+
+        def always():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            retry_call(always, attempts=3, backoff=1.0, sleep=clock)
+        assert clock.now() == pytest.approx(3.0)  # no real time.sleep
+
+    def test_backoff_delay_schedule(self):
+        assert backoff_delay(0, 0.5) == pytest.approx(0.5)
+        assert backoff_delay(1, 0.5) == pytest.approx(1.0)
+        assert backoff_delay(3, 0.5, factor=3.0) == pytest.approx(13.5)
+
+    def test_backoff_delay_jitter_bounded_and_seeded(self):
+        rng = random.Random(42)
+        delays = [backoff_delay(1, 1.0, jitter=0.25, rng=rng) for _ in range(50)]
+        assert all(1.5 <= d <= 2.5 for d in delays)
+        assert len(set(delays)) > 1  # actually jittered
+        rng2 = random.Random(42)
+        again = [backoff_delay(1, 1.0, jitter=0.25, rng=rng2) for _ in range(50)]
+        assert delays == again  # deterministic under a seeded rng
+
+    def test_retry_call_jitter_uses_injected_rng_and_clock(self):
+        clock = ManualClock()
+
+        def always():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                always,
+                attempts=3,
+                backoff=1.0,
+                jitter=0.5,
+                rng=random.Random(7),
+                sleep=clock,
+            )
+        # Two jittered sleeps, each within +/-50% of 1.0 and 2.0.
+        assert 1.5 * 0.5 <= clock.now() <= 1.5 * 3.0
+        clock2 = ManualClock()
+        with pytest.raises(ValueError):
+            retry_call(
+                always,
+                attempts=3,
+                backoff=1.0,
+                jitter=0.5,
+                rng=random.Random(7),
+                sleep=clock2,
+            )
+        assert clock2.now() == pytest.approx(clock.now())
 
 
 class TestGuards:
