@@ -20,6 +20,7 @@ import contextlib
 import sys
 
 from repro.bench import (
+    ALL_KERNELS,
     FULL_DESIGNS,
     QUICK_DESIGNS,
     compare_reports,
@@ -46,6 +47,14 @@ def main(argv=None) -> int:
         dest="designs",
         metavar="NAME",
         help="benchmark only NAME (repeatable; overrides --quick's design set)",
+    )
+    parser.add_argument(
+        "--kernel",
+        action="append",
+        dest="kernels",
+        metavar="NAME",
+        choices=ALL_KERNELS,
+        help=f"benchmark only kernel NAME (repeatable; one of {ALL_KERNELS})",
     )
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats per kernel")
     parser.add_argument(
@@ -87,6 +96,7 @@ def main(argv=None) -> int:
             repeats=args.repeats,
             queries=args.queries,
             log=print,
+            kernels=args.kernels,
         )
     if args.trace:
         print(f"[bench] trace written to {args.trace}")

@@ -7,6 +7,12 @@ geometry that the sign-off STA engine converts to RC.
 """
 
 from repro.groute.router import GlobalRouter, GlobalRouteResult, RouterConfig, SegmentRoute
+from repro.groute.flat_route import (
+    FlatRouteResult,
+    estimate_congestion,
+    pattern_route_flat,
+    pattern_route_reference,
+)
 from repro.groute.layer_assign import assign_layers
 
 __all__ = [
@@ -14,5 +20,9 @@ __all__ = [
     "GlobalRouteResult",
     "RouterConfig",
     "SegmentRoute",
+    "FlatRouteResult",
+    "estimate_congestion",
+    "pattern_route_flat",
+    "pattern_route_reference",
     "assign_layers",
 ]

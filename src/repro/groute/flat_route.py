@@ -1,0 +1,310 @@
+"""Flat batched L-pattern routing — the whole-design congestion probe.
+
+:class:`~repro.groute.router.GlobalRouter` is the production router:
+sequential, negotiated, with Z-shape and maze escalation — every
+segment sees the usage committed by the segments before it.  That
+ordering dependency is what makes it slow (per-edge python) and what
+the congestion *probe* never needed: the evaluator only wants a
+congestion field estimate, and the refinement loop re-probes it every
+accepted move.
+
+This module scores **both L-shapes of every tree edge at once** against
+the grid's current cost field — one ``(n_edges, 2)`` accumulation over
+the run lengths instead of per-edge python — picks the cheaper shape
+per edge, and commits all usage with two ``bincount`` scatters.  The
+semantics are deliberately single-pass: every edge is costed against
+the *incoming* usage state (no sequential commit feedback), which makes
+the estimate order-free and batchable.  A per-edge reference
+implementation with identical semantics (:func:`pattern_route_reference`)
+is kept as the parity oracle; the two agree **bitwise** on shape
+choice, path cost, committed usage, and overflow
+(tests/test_flat_steiner.py).
+
+Shape convention, shared with the Steiner construction corner rule
+(``steiner/rsmt.py::_corner_for``): shape 0 bends at ``(x2, y1)``,
+shape 1 at ``(x1, y2)``; cost ties pick shape 0.  Cost of a shape is
+accumulated horizontal-leg-first in increasing edge index, which both
+kernels follow so their float sums are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.routegrid.grid import GCellGrid
+from repro.steiner.forest import SteinerForest
+
+
+@dataclass
+class FlatRouteResult:
+    """One-shot pattern-route estimate over all tree edges."""
+
+    choice: np.ndarray  # (E,) 0 = bend at (x2, y1), 1 = bend at (x1, y2)
+    cost: np.ndarray  # (E,) congestion cost of the chosen shape
+    overflow: float  # grid overflow after committing all edges
+    max_utilization: float
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.choice.shape[0])
+
+
+def _expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, e) for s, e in zip(starts, ends)]``.
+
+    Same helper as ``sta/flat.py`` (copied to keep ``groute`` free of a
+    dependency on the STA package).
+    """
+    counts = (ends - starts).astype(np.int64)
+    keep = counts > 0
+    starts, counts = starts[keep], counts[keep]
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    total = int(counts.sum())
+    out = np.ones(total, dtype=np.int64)
+    cuts = np.cumsum(counts[:-1])
+    out[0] = starts[0]
+    out[cuts] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
+
+
+class _EdgeGeometry:
+    """CSR view of the forest's tree edges, memoized on the forest.
+
+    Topology is fixed after construction (refinement only moves
+    coordinates), so the per-tree node offsets and global edge endpoint
+    rows are built once.  Validity is checked by object identity of
+    each tree and its ``edges`` list — every topology rewrite in the
+    codebase *reassigns* ``tree.edges`` rather than mutating it.
+    """
+
+    def __init__(self, forest: SteinerForest) -> None:
+        trees = forest.trees
+        self.refs: List[Tuple[object, object]] = [(t, t.edges) for t in trees]
+        n_trees = len(trees)
+        self.node_off = np.zeros(n_trees + 1, dtype=np.int64)
+        self.pin_counts = np.empty(n_trees, dtype=np.int64)
+        for i, t in enumerate(trees):
+            self.node_off[i + 1] = self.node_off[i] + t.n_nodes
+            self.pin_counts[i] = t.n_pins
+        eu: List[int] = []
+        ev: List[int] = []
+        off = self.node_off
+        for i, t in enumerate(trees):
+            base = off[i]
+            for u, v in t.edges:
+                eu.append(base + u)
+                ev.append(base + v)
+        self.eu = np.asarray(eu, dtype=np.int64)
+        self.ev = np.asarray(ev, dtype=np.int64)
+        self.n_nodes = int(off[-1])
+
+    def valid_for(self, forest: SteinerForest) -> bool:
+        trees = forest.trees
+        if len(trees) != len(self.refs):
+            return False
+        return all(t is rt and t.edges is re for t, (rt, re) in zip(trees, self.refs))
+
+    def gather_coords(self, forest: SteinerForest) -> np.ndarray:
+        """(n_nodes, 2) current node coordinates, tree-contiguous."""
+        xy = np.empty((self.n_nodes, 2), dtype=np.float64)
+        off = self.node_off
+        for i, tree in enumerate(forest.trees):
+            s = off[i]
+            p = s + tree.n_pins
+            xy[s:p] = tree.pin_xy
+            if tree.n_steiner:
+                xy[p : off[i + 1]] = tree.steiner_xy
+        return xy
+
+
+def _geometry_of(forest: SteinerForest) -> _EdgeGeometry:
+    geom: Optional[_EdgeGeometry] = getattr(forest, "_flat_route_geom", None)
+    if geom is None or not geom.valid_for(forest):
+        geom = _EdgeGeometry(forest)
+        forest._flat_route_geom = geom
+    return geom
+
+
+def cost_fields(
+    grid: GCellGrid, overflow_penalty: float = 8.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-edge congestion cost fields, elementwise bitwise-equal to
+    :meth:`GCellGrid.edge_cost` over the whole grid."""
+
+    def field(cap: np.ndarray, use: np.ndarray, hist: np.ndarray) -> np.ndarray:
+        util = (use + 1.0) / np.maximum(cap, 1e-9)
+        extra = np.where(
+            util > 1.0,
+            overflow_penalty * (util - 1.0) ** 2,
+            np.where(util > 0.7, (util - 0.7) * 2.0, 0.0),
+        )
+        return (1.0 + hist) + extra
+
+    return (
+        field(grid.cap_h, grid.use_h, grid.hist_h),
+        field(grid.cap_v, grid.use_v, grid.hist_v),
+    )
+
+
+def pattern_route_flat(
+    grid: GCellGrid,
+    forest: SteinerForest,
+    overflow_penalty: float = 8.0,
+    commit: bool = True,
+) -> FlatRouteResult:
+    """Score + commit the cheaper L-shape of every tree edge, batched."""
+    geom = _geometry_of(forest)
+    xy = geom.gather_coords(forest)
+    gx = np.clip(xy[:, 0] / grid.gcell, 0, grid.nx - 1).astype(np.int64)
+    gy = np.clip(xy[:, 1] / grid.gcell, 0, grid.ny - 1).astype(np.int64)
+    x1, y1 = gx[geom.eu], gy[geom.eu]
+    x2, y2 = gx[geom.ev], gy[geom.ev]
+    n_edges = x1.shape[0]
+
+    h_lo = np.minimum(x1, x2)
+    h_len = np.abs(x1 - x2)
+    v_lo = np.minimum(y1, y2)
+    v_len = np.abs(y1 - y2)
+    # Shape 0 bends at (x2, y1): H leg on row y1, V leg on column x2.
+    # Shape 1 bends at (x1, y2): H leg on row y2, V leg on column x1.
+    row0, row1 = y1, y2
+    col0, col1 = x2, x1
+
+    cost_h, cost_v = cost_fields(grid, overflow_penalty)
+    acc0 = np.zeros(n_edges, dtype=np.float64)
+    acc1 = np.zeros(n_edges, dtype=np.float64)
+    # Sequential accumulation over the run length (vector over edges,
+    # scalar over steps) so sums match the per-edge reference bitwise —
+    # a reduceat/cumsum would pairwise-sum and drift by ulps.
+    h_max_i = cost_h.shape[0] - 1
+    for k in range(int(h_len.max()) if n_edges else 0):
+        live = h_len > k
+        i = np.minimum(h_lo + k, h_max_i)
+        acc0 += np.where(live, cost_h[i, row0], 0.0)
+        acc1 += np.where(live, cost_h[i, row1], 0.0)
+    v_max_j = cost_v.shape[1] - 1
+    for k in range(int(v_len.max()) if n_edges else 0):
+        live = v_len > k
+        j = np.minimum(v_lo + k, v_max_j)
+        acc0 += np.where(live, cost_v[col0, j], 0.0)
+        acc1 += np.where(live, cost_v[col1, j], 0.0)
+
+    choice = np.where(acc0 <= acc1, 0, 1).astype(np.int64)
+    cost = np.where(choice == 0, acc0, acc1)
+
+    if commit and n_edges:
+        h_row = np.where(choice == 0, row0, row1)
+        v_col = np.where(choice == 0, col0, col1)
+        h_cols = _expand_ranges(h_lo, h_lo + h_len)
+        if h_cols.size:
+            lin = h_cols * grid.ny + np.repeat(h_row, h_len)
+            grid.use_h += np.bincount(lin, minlength=cost_h.size).reshape(
+                cost_h.shape
+            )
+        v_rows = _expand_ranges(v_lo, v_lo + v_len)
+        if v_rows.size:
+            lin = np.repeat(v_col, v_len) * cost_v.shape[1] + v_rows
+            grid.use_v += np.bincount(lin, minlength=cost_v.size).reshape(
+                cost_v.shape
+            )
+
+    return FlatRouteResult(
+        choice=choice,
+        cost=cost,
+        overflow=grid.overflow(),
+        max_utilization=grid.max_utilization(),
+    )
+
+
+def pattern_route_reference(
+    grid: GCellGrid,
+    forest: SteinerForest,
+    overflow_penalty: float = 8.0,
+    commit: bool = True,
+) -> FlatRouteResult:
+    """Per-edge python implementation of the same single-pass estimate.
+
+    The parity oracle for :func:`pattern_route_flat`: same edge order
+    (tree order, then edge order), same H-leg-then-V-leg accumulation,
+    same tie-break — but through :meth:`GCellGrid.edge_cost` calls.
+    """
+    choices: List[int] = []
+    costs: List[float] = []
+    runs: List[Tuple[int, int, int, int, int, int]] = []
+    for tree in forest.trees:
+        xy = tree.node_xy()
+        for u, v in tree.edges:
+            x1, y1 = grid.locate(xy[u][0], xy[u][1])
+            x2, y2 = grid.locate(xy[v][0], xy[v][1])
+            h_lo, h_hi = min(x1, x2), max(x1, x2)
+            v_lo, v_hi = min(y1, y2), max(y1, y2)
+            cost0 = 0.0
+            for i in range(h_lo, h_hi):
+                cost0 += grid.edge_cost("H", i, y1, overflow_penalty)
+            for j in range(v_lo, v_hi):
+                cost0 += grid.edge_cost("V", x2, j, overflow_penalty)
+            cost1 = 0.0
+            for i in range(h_lo, h_hi):
+                cost1 += grid.edge_cost("H", i, y2, overflow_penalty)
+            for j in range(v_lo, v_hi):
+                cost1 += grid.edge_cost("V", x1, j, overflow_penalty)
+            pick = 0 if cost0 <= cost1 else 1
+            choices.append(pick)
+            costs.append(cost0 if pick == 0 else cost1)
+            runs.append(
+                (h_lo, h_hi, y1 if pick == 0 else y2, v_lo, v_hi, x2 if pick == 0 else x1)
+            )
+    if commit:
+        # Committed after scoring: every edge is costed against the
+        # incoming usage state, exactly like the batched kernel.
+        for h_lo, h_hi, row, v_lo, v_hi, col in runs:
+            for i in range(h_lo, h_hi):
+                grid.add_usage("H", i, row)
+            for j in range(v_lo, v_hi):
+                grid.add_usage("V", col, j)
+    return FlatRouteResult(
+        choice=np.asarray(choices, dtype=np.int64),
+        cost=np.asarray(costs, dtype=np.float64),
+        overflow=grid.overflow(),
+        max_utilization=grid.max_utilization(),
+    )
+
+
+def estimate_congestion(
+    netlist, forest: SteinerForest, kernel: str = "flat"
+) -> np.ndarray:
+    """Congestion field estimate for the timing evaluator.
+
+    Replaces the sequential pattern+maze probe on the hot path: builds
+    a fresh grid, one-shot routes every edge, returns the utilization
+    map.  ``kernel="reference"`` runs the per-edge oracle instead.
+    """
+    from repro.obs import get_telemetry
+
+    tel = get_telemetry()
+    grid = GCellGrid(netlist.die_width, netlist.die_height, netlist.technology)
+    with tel.span("groute.flat_estimate", design=netlist.name, kernel=kernel):
+        if kernel == "flat":
+            if tel.enabled:
+                tel.count("groute.estimates_flat")
+            pattern_route_flat(grid, forest)
+        elif kernel == "reference":
+            if tel.enabled:
+                tel.count("groute.estimates_reference")
+            pattern_route_reference(grid, forest)
+        else:
+            raise ValueError(f"unknown pattern-route kernel {kernel!r}")
+    return grid.utilization_map()
+
+
+__all__ = [
+    "FlatRouteResult",
+    "cost_fields",
+    "pattern_route_flat",
+    "pattern_route_reference",
+    "estimate_congestion",
+]

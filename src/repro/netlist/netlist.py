@@ -116,6 +116,7 @@ class Netlist:
         self.die_width: float = 0.0
         self.die_height: float = 0.0
         self._pin_net: Optional[np.ndarray] = None
+        self._pin_static: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -147,6 +148,7 @@ class Netlist:
             self.pins.append(pin)
             cell.pin_indices[pin_name] = pin.index
         self._pin_net = None
+        self._pin_static = None
         return cell
 
     def add_port(self, name: str, direction: PinDirection, x: float, y: float, cap: float = 0.004) -> Pin:
@@ -167,6 +169,7 @@ class Netlist:
         )
         self.pins.append(pin)
         self._pin_net = None
+        self._pin_static = None
         return pin
 
     def add_net(self, name: str, driver: int, sinks: Sequence[int]) -> Net:
@@ -195,16 +198,39 @@ class Netlist:
     def num_nets(self) -> int:
         return len(self.nets)
 
+    def _pin_structure(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized static pin layout: (owning cell per pin, offsets).
+
+        Pin offsets and cell ownership never change after construction
+        (cells only *move*), so the gather arrays are built once; the
+        ``add_*`` methods reset the memo alongside ``_pin_net``.
+        """
+        static = self._pin_static
+        if static is None:
+            n = len(self.pins)
+            cell_of = np.fromiter(
+                (p.cell_index for p in self.pins), dtype=np.int64, count=n
+            )
+            offsets = np.array([p.offset for p in self.pins], dtype=np.float64)
+            static = self._pin_static = (cell_of, offsets.reshape(n, 2))
+        return static
+
     def pin_positions(self) -> np.ndarray:
-        """(num_pins, 2) array of absolute pin coordinates."""
-        pos = np.zeros((len(self.pins), 2), dtype=np.float64)
-        for pin in self.pins:
-            if pin.is_cell_pin:
-                cell = self.cells[pin.cell_index]
-                pos[pin.index, 0] = cell.x + pin.offset[0]
-                pos[pin.index, 1] = cell.y + pin.offset[1]
-            else:
-                pos[pin.index] = pin.offset
+        """(num_pins, 2) array of absolute pin coordinates.
+
+        Vectorized gather over the memoized pin structure; only cell
+        origins are re-read per call (placement moves cells between
+        calls, never pin offsets).  Bitwise-equal to the per-pin loop:
+        float addition is commutative.
+        """
+        cell_of, offsets = self._pin_structure()
+        pos = offsets.copy()
+        if self.cells:
+            cell_xy = np.array(
+                [(c.x, c.y) for c in self.cells], dtype=np.float64
+            ).reshape(-1, 2)
+            mask = cell_of >= 0
+            pos[mask] += cell_xy[cell_of[mask]]
         return pos
 
     def pin_net_map(self) -> np.ndarray:

@@ -31,9 +31,10 @@ from repro.obs import get_telemetry
 class DesignWorkspace:
     """Warm timing state for one design; built lazily, queried often."""
 
-    def __init__(self, name: str, scale: float = 1.0) -> None:
+    def __init__(self, name: str, scale: float = 1.0, forest_kernel: str = "flat") -> None:
         self.name = name
         self.scale = float(scale)
+        self.forest_kernel = forest_kernel
         self.netlist = None
         self.forest = None
         self.engine = None
@@ -54,7 +55,9 @@ class DesignWorkspace:
 
             tel = get_telemetry()
             with tel.span("serve.warm_design", design=self.name):
-                self.netlist, self.forest = prepare_design(self.name, scale=self.scale)
+                self.netlist, self.forest = prepare_design(
+                    self.name, scale=self.scale, forest_kernel=self.forest_kernel
+                )
                 self.engine = STAEngine(self.netlist)
             if tel.enabled:
                 tel.count("serve.designs_warmed")
@@ -128,8 +131,11 @@ class WarmStateCache:
     committed ``refine`` immediately visible to ``signoff`` queries.
     """
 
-    def __init__(self, scale: float = 1.0, evaluator_config=None) -> None:
+    def __init__(
+        self, scale: float = 1.0, evaluator_config=None, forest_kernel: str = "flat"
+    ) -> None:
         self.scale = float(scale)
+        self.forest_kernel = forest_kernel
         self._lock = threading.Lock()
         self._workspaces: Dict[str, DesignWorkspace] = {}
         self._evaluator = None
@@ -139,7 +145,9 @@ class WarmStateCache:
         with self._lock:
             ws = self._workspaces.get(name)
             if ws is None:
-                ws = self._workspaces[name] = DesignWorkspace(name, scale=self.scale)
+                ws = self._workspaces[name] = DesignWorkspace(
+                    name, scale=self.scale, forest_kernel=self.forest_kernel
+                )
         return ws.ensure_loaded()
 
     def peek(self, name: str) -> Optional[DesignWorkspace]:

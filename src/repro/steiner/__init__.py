@@ -7,14 +7,17 @@ and congestion-driven edge shifting.
 """
 
 from repro.steiner.tree import SteinerTree
-from repro.steiner.forest import SteinerForest, build_forest
+from repro.steiner.forest import SteinerForest, build_forest, clear_forest_cache
 from repro.steiner.rsmt import construct_tree
+from repro.steiner.flat_build import construct_trees_flat
 from repro.steiner.edge_shifting import shift_edges
 
 __all__ = [
     "SteinerTree",
     "SteinerForest",
     "build_forest",
+    "clear_forest_cache",
     "construct_tree",
+    "construct_trees_flat",
     "shift_edges",
 ]

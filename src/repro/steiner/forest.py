@@ -9,11 +9,14 @@ post-processing step Fig. 4 of the paper describes.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.netlist.netlist import Netlist
+from repro.obs import get_telemetry
 from repro.steiner.rsmt import construct_tree
 from repro.steiner.tree import SteinerTree
 
@@ -132,14 +135,121 @@ class SteinerForest:
             tree.pin_xy = pos[np.array(tree.pin_ids, dtype=np.int64)]
 
 
-def build_forest(netlist: Netlist, skip_degenerate: bool = True) -> SteinerForest:
-    """Construct initial Steiner trees for every net of ``netlist``."""
-    pos = netlist.pin_positions()
-    trees: List[SteinerTree] = []
+#: Forest memo keyed by (geometry digest, skip_degenerate, kernel).
+#: Content-addressed rather than object-identity-addressed: serve
+#: warm-state rebuilds and repeated flow runs construct *new* Netlist
+#: objects with byte-identical geometry, which an identity cache would
+#: always miss.  Bounded LRU; entries are master copies, callers get
+#: private forks (refinement mutates Steiner coordinates in place).
+_FOREST_CACHE: "OrderedDict[Tuple[bytes, bool, str], SteinerForest]" = OrderedDict()
+_FOREST_CACHE_CAP = 8
+
+
+def _forest_digest(netlist: Netlist, pos: np.ndarray) -> bytes:
+    """Digest of everything the initial construction depends on."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(pos.tobytes())
     for net in netlist.nets:
-        pins = net.pins
-        if skip_degenerate and len(pins) < 2:
-            continue
-        tree = construct_tree(net.index, pins, pos[np.array(pins, dtype=np.int64)])
-        trees.append(tree)
+        h.update(np.int64(net.driver).tobytes())
+        h.update(np.array(net.sinks, dtype=np.int64).tobytes())
+    return h.digest()
+
+
+def _fork_forest(netlist: Netlist, master: SteinerForest) -> SteinerForest:
+    """Private copy of a cached forest, rebound to the caller's netlist.
+
+    Steiner coordinates (the movable state) and edge lists are copied;
+    ``pin_ids``/``pin_xy`` are shared read-only — no code path writes
+    them in place (re-placement *reassigns* ``pin_xy``).
+    """
+    trusted = SteinerTree._trusted
+    trees = [
+        trusted(t.net_index, t.pin_ids, t.pin_xy, t.steiner_xy.copy(), list(t.edges))
+        for t in master.trees
+    ]
     return SteinerForest(netlist, trees)
+
+
+def clear_forest_cache() -> None:
+    """Drop all memoized forests (tests / memory pressure)."""
+    _FOREST_CACHE.clear()
+
+
+def build_forest(
+    netlist: Netlist,
+    skip_degenerate: bool = True,
+    kernel: str = "flat",
+    cache: bool = True,
+) -> SteinerForest:
+    """Construct initial Steiner trees for every net of ``netlist``.
+
+    ``kernel`` selects the implementation: ``"flat"`` runs the batched
+    whole-design kernels of :mod:`repro.steiner.flat_build`,
+    ``"reference"`` the original per-net constructor; the two are
+    bitwise-equal (tests/test_flat_steiner.py).  ``cache=True``
+    memoizes by geometry digest so repeated builds of identical
+    geometry (serve warm-state rebuilds, flow re-runs) return a fork of
+    the cached forest instead of reconstructing.
+    """
+    if kernel not in ("flat", "reference"):
+        raise ValueError(f"unknown forest kernel {kernel!r}")
+    tel = get_telemetry()
+    pos = netlist.pin_positions()
+    key = None
+    if cache:
+        key = (_forest_digest(netlist, pos), bool(skip_degenerate), kernel)
+        master = _FOREST_CACHE.get(key)
+        if master is not None:
+            _FOREST_CACHE.move_to_end(key)
+            if tel.enabled:
+                tel.count("steiner.cache_hits")
+            return _fork_forest(netlist, master)
+        if tel.enabled:
+            tel.count("steiner.cache_misses")
+
+    with tel.span("forest_build", design=netlist.name, kernel=kernel) as span:
+        if kernel == "flat":
+            if tel.enabled:
+                tel.count("steiner.builds_flat")
+            net_indices: List[int] = []
+            net_pins: List[List[int]] = []
+            for net in netlist.nets:
+                pins = net.pins
+                if skip_degenerate and len(pins) < 2:
+                    continue
+                net_indices.append(net.index)
+                net_pins.append(pins)
+            from repro.steiner.flat_build import construct_trees_flat
+
+            trees = construct_trees_flat(net_indices, net_pins, pos)
+        else:
+            if tel.enabled:
+                tel.count("steiner.builds_reference")
+            trees = []
+            for net in netlist.nets:
+                pins = net.pins
+                if skip_degenerate and len(pins) < 2:
+                    continue
+                trees.append(
+                    construct_tree(net.index, pins, pos[np.array(pins, dtype=np.int64)])
+                )
+        forest = SteinerForest(netlist, trees)
+        if tel.enabled:
+            buckets = {1: 0, 2: 0, 3: 0, 4: 0}
+            for t in trees:
+                d = t.n_pins
+                buckets[d if d < 4 else 4] += 1
+            span.annotate(
+                n_trees=len(trees),
+                n_steiner=forest.num_steiner_points,
+                deg1=buckets[1],
+                deg2=buckets[2],
+                deg3=buckets[3],
+                deg4plus=buckets[4],
+            )
+
+    if cache:
+        _FOREST_CACHE[key] = _fork_forest(netlist, forest)
+        while len(_FOREST_CACHE) > _FOREST_CACHE_CAP:
+            _FOREST_CACHE.popitem(last=False)
+    return forest

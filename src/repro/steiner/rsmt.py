@@ -49,15 +49,22 @@ def _prim_mst(points: np.ndarray) -> List[Tuple[int, int]]:
 def _corner_for(a: np.ndarray, b: np.ndarray, toward: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
     """Corner of the L-route from ``a`` to ``b``; None if axis-aligned.
 
-    Two L-shapes exist; pick the corner closer to ``toward`` (typically
-    the net centroid) so initial trees are compact, or the
-    (b.x, a.y) corner by default.
+    Two L-shapes exist; pick the corner closer (L1) to ``toward`` — the
+    net centroid — so initial trees are compact, breaking ties to the
+    ``(b.x, a.y)`` corner.  ``toward=None`` means the segment midpoint
+    (the centroid of a 2-pin net): both corners of the bounding box are
+    exactly L1-equidistant from its center, so the tie-break applies.
+    That tie is resolved symbolically — a floating-point midpoint is an
+    ulp off the true center and would break the exact tie at random —
+    which is why every kernel (per-net and flat batched) shares this
+    one rule yet never computes the midpoint distance.
     """
     if a[0] == b[0] or a[1] == b[1]:
         return None
     c1 = np.array([b[0], a[1]])
     c2 = np.array([a[0], b[1]])
     if toward is None:
+        # Midpoint centroid: d1 == d2 exactly, tie-break picks c1.
         return c1
     d1 = np.abs(c1 - toward).sum()
     d2 = np.abs(c2 - toward).sum()

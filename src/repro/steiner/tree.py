@@ -56,6 +56,31 @@ class SteinerTree:
             raise ValueError("pin_ids and pin_xy disagree")
         self._topo = None
 
+    @classmethod
+    def _trusted(
+        cls,
+        net_index: int,
+        pin_ids: List[int],
+        pin_xy: np.ndarray,
+        steiner_xy: np.ndarray,
+        edges: List[Tuple[int, int]],
+    ) -> "SteinerTree":
+        """Construct without the ``__post_init__`` normalization pass.
+
+        For callers that already hold well-formed ``(n, 2)`` float64
+        arrays — the flat batched builder materializes thousands of
+        trees per design, and the per-tree ``asarray``/``reshape``
+        round-trips dominate its runtime otherwise.
+        """
+        tree = cls.__new__(cls)
+        tree.net_index = net_index
+        tree.pin_ids = pin_ids
+        tree.pin_xy = pin_xy
+        tree.steiner_xy = steiner_xy
+        tree.edges = edges
+        tree._topo = None
+        return tree
+
     # ------------------------------------------------------------------
     @property
     def n_pins(self) -> int:
