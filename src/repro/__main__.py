@@ -84,16 +84,23 @@ def main(argv=None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "watch":
+        # Live trace dashboard (docs/OBSERVABILITY.md): tail-follows a
+        # trace that is still being written.
+        from repro.obs.watch import main as watch_main
+
+        return watch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate TSteiner paper artifacts (tables and figures).",
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_ARTIFACTS) + ["all", "report", "serve"],
+        choices=sorted(_ARTIFACTS) + ["all", "report", "serve", "watch"],
         help="which artifact to regenerate, `report <trace.jsonl>` "
-        "to summarize a telemetry trace, or `serve` to run the "
-        "sign-off service under synthetic load",
+        "to summarize a telemetry trace, `serve` to run the "
+        "sign-off service under synthetic load, or `watch` to "
+        "tail-follow a live trace",
     )
     parser.add_argument(
         "--profile",
@@ -169,10 +176,10 @@ def main(argv=None) -> int:
         help="less console logging",
     )
     args = parser.parse_args(argv)
-    if args.artifact == "report":
+    if args.artifact in ("report", "serve", "watch"):
         # Reached only when options precede the subcommand; the plain
-        # form (`python -m repro report ...`) dispatches above.
-        parser.error("usage: python -m repro report <trace.jsonl> [...]")
+        # form (`python -m repro report ...` etc.) dispatches above.
+        parser.error(f"usage: python -m repro {args.artifact} [...]")
     setup_logging(args.verbose - args.quiet)
     config = _PROFILES[args.profile]()
     if args.corners is not None or args.mode is not None:

@@ -37,8 +37,15 @@ speedup regressed by more than ``tolerance`` (default 25%) — the
 ``bench-smoke`` pytest marker runs exactly that check against the
 committed baseline.
 
-All measurements use ``min`` over repeats (standard practice: the
-minimum is the least noisy estimator of the true cost).
+Long-running kernels use ``min`` over repeats (the minimum is the
+least noisy estimator of the true cost); sub-millisecond kernels use
+a warmup pass plus the **median of at least three amortized batch
+samples** (``_best_amortized``), which resists the single lucky
+sample that makes min-based ratios flap under CI load.  Every run can
+also append one summary row to a history JSONL
+(``python -m repro.bench --history BENCH_history.jsonl``;
+:mod:`repro.bench.history`), turning the point-in-time gate into a
+trend check rendered by ``python -m repro report --bench-trend``.
 """
 
 from __future__ import annotations
@@ -77,27 +84,35 @@ def _best(fn: Callable[[], object], repeats: int) -> float:
 def _best_amortized(
     fn: Callable[[], object], repeats: int, min_sample_s: float = 0.005
 ) -> float:
-    """Minimum per-call seconds, timing batches of calls when ``fn`` is short.
+    """Median per-call seconds, timing batches of calls when ``fn`` is short.
 
     Sub-millisecond kernels (the flat builders on small designs) can't
     be timed stably one call at a time — scheduler noise swamps the
     signal and the speedup ratios the regression gate compares flap.
     Each timing sample therefore runs enough back-to-back calls to
     last at least ``min_sample_s`` and reports the amortized per-call
-    time; long-running kernels keep the plain one-call-per-sample
-    behaviour.
+    time, over at least three samples with the median taken: unlike
+    ``min``, the median is insensitive to the one lucky sample that a
+    frequency-boost burst produces, which is exactly the flap the CI
+    gate kept hitting.  The calibration call doubles as a warmup pass
+    (allocator, caches, branch predictors) and is never counted as a
+    sample.
     """
     t0 = time.perf_counter()
-    fn()
+    fn()  # warmup + calibration; excluded from the samples below
     once = time.perf_counter() - t0
     inner = max(1, int(math.ceil(min_sample_s / max(once, 1e-9))))
-    best = once
-    for _ in range(max(1, repeats)):
+    samples: List[float] = []
+    for _ in range(max(3, repeats)):
         t0 = time.perf_counter()
         for _ in range(inner):
             fn()
-        best = min(best, (time.perf_counter() - t0) / inner)
-    return best
+        samples.append((time.perf_counter() - t0) / inner)
+    samples.sort()
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        return samples[mid]
+    return 0.5 * (samples[mid - 1] + samples[mid])
 
 
 # ----------------------------------------------------------------------

@@ -62,6 +62,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", metavar="PATH", help="write the JSON report to PATH")
     parser.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append one per-kernel speedup summary row to the history "
+        "JSONL at PATH; render with `python -m repro report "
+        "--bench-trend PATH`",
+    )
+    parser.add_argument(
+        "--label",
+        metavar="TEXT",
+        default=None,
+        help="free-form label recorded in the --history row "
+        "(e.g. a commit hash)",
+    )
+    parser.add_argument(
         "--check",
         metavar="BASELINE",
         help="compare speedups against a committed baseline report",
@@ -103,6 +117,14 @@ def main(argv=None) -> int:
     if args.out:
         save_report(report, args.out)
         print(f"[bench] report written to {args.out}")
+    if args.history:
+        from repro.bench.history import append_history
+
+        row = append_history(report, args.history, label=args.label)
+        print(
+            f"[bench] appended {len(row['speedups'])} speedup metrics "
+            f"to {args.history}"
+        )
     if args.check:
         problems = compare_reports(report, load_report(args.check), tolerance=args.tolerance)
         if problems:

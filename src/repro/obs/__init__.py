@@ -10,9 +10,15 @@ Zero-dependency observability layer (docs/OBSERVABILITY.md):
   :func:`telemetry_session` — the process-global handle used by
   instrumentation points without a threaded parameter (cache counters,
   budget expiry, fault injection);
+* :mod:`repro.obs.sketch` — the deterministic log-bucket quantile
+  sketch behind every histogram (p50/p90/p99, mergeable);
+* :mod:`repro.obs.slo` — declarative objectives with multi-window
+  burn-rate alerting over the serving outcome stream;
+* :mod:`repro.obs.profile` — span-tree self-time hotspot attribution;
 * :mod:`repro.obs.logbridge` — stdlib ``logging`` bridged into trace
   events plus the CLI console handler;
-* :mod:`repro.obs.report` — ``python -m repro report <trace.jsonl>``.
+* :mod:`repro.obs.report` — ``python -m repro report <trace.jsonl>``;
+* :mod:`repro.obs.watch` — ``python -m repro watch <trace.jsonl>``.
 """
 
 from repro.obs.logbridge import (
@@ -21,6 +27,13 @@ from repro.obs.logbridge import (
     bridge_logging,
     setup_logging,
     unbridge_logging,
+)
+from repro.obs.sketch import GAMMA, LogBucketSketch
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SLOEngine,
+    SLObjective,
+    parse_objective,
 )
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
@@ -35,13 +48,19 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "DEFAULT_WINDOWS",
+    "GAMMA",
+    "LogBucketSketch",
     "NULL_TELEMETRY",
     "SCHEMA_VERSION",
+    "SLOEngine",
+    "SLObjective",
     "NullTelemetry",
     "Span",
     "Telemetry",
     "TelemetryLogHandler",
     "ROOT_LOGGER",
+    "parse_objective",
     "active_run_id",
     "bridge_logging",
     "get_telemetry",

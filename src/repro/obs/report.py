@@ -37,8 +37,17 @@ class TraceError(ValueError):
     """The file is not a readable telemetry trace."""
 
 
-def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse one JSONL trace; raises :class:`TraceError` on bad input."""
+def read_trace(
+    path: Union[str, Path], strict: bool = True
+) -> List[Dict[str, Any]]:
+    """Parse one JSONL trace; raises :class:`TraceError` on bad input.
+
+    ``strict=False`` reads a trace that is still being written (or died
+    mid-write): undecodable lines — typically a truncated final line —
+    and non-event records are skipped instead of raising, and an empty
+    trace returns ``[]``.  The watch CLI and the degenerate-trace tests
+    use this mode.
+    """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"trace not found: {path}")
@@ -51,11 +60,17 @@ def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise TraceError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+                if strict:
+                    raise TraceError(
+                        f"{path}:{lineno}: invalid JSON ({exc})"
+                    ) from exc
+                continue
             if not isinstance(record, dict) or "kind" not in record:
-                raise TraceError(f"{path}:{lineno}: not a telemetry event")
+                if strict:
+                    raise TraceError(f"{path}:{lineno}: not a telemetry event")
+                continue
             events.append(record)
-    if not events:
+    if not events and strict:
         raise TraceError(f"{path}: empty trace")
     return events
 
@@ -154,9 +169,15 @@ def summarize_serving(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, An
             s["timed_out"] += 1
         s["latencies"].append(float(ev.get("latency", 0.0)))
     for s in kinds.values():
-        lat = s.pop("latencies")
+        lat = sorted(s.pop("latencies"))
         s["mean_latency"] = sum(lat) / len(lat) if lat else 0.0
-        s["max_latency"] = max(lat) if lat else 0.0
+        s["max_latency"] = lat[-1] if lat else 0.0
+        for name, q in (("p50_latency", 0.5), ("p90_latency", 0.9), ("p99_latency", 0.99)):
+            if lat:
+                rank = max(1, int(-(-q * len(lat) // 1)))  # ceil(q*n)
+                s[name] = lat[min(rank, len(lat)) - 1]
+            else:
+                s[name] = 0.0
     chaos: Dict[str, int] = {}
     for ev in events:
         kind = ev.get("kind")
@@ -185,10 +206,36 @@ def _final_metrics(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]
     return None
 
 
+def summarize_slo(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """SLO alert history and final objective state from a trace.
+
+    Returns None when the trace carries no SLO events (the engine was
+    not configured).  ``transitions`` preserves event order so fire →
+    clear sequences render faithfully.
+    """
+    transitions = [
+        e for e in events if e.get("kind") in ("slo_alert", "slo_clear")
+    ]
+    status = next(
+        (e for e in reversed(events) if e.get("kind") == "slo_status"), None
+    )
+    if not transitions and status is None:
+        return None
+    return {
+        "transitions": transitions,
+        "objectives": (status or {}).get("objectives") or [],
+        "firing": (status or {}).get("firing") or [],
+    }
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
-def render_report(events: Sequence[Dict[str, Any]]) -> str:
+def render_report(
+    events: Sequence[Dict[str, Any]],
+    profile: bool = False,
+    top: int = 15,
+) -> str:
     lines: List[str] = []
     start = next((e for e in events if e.get("kind") == "run_start"), None)
     run_id = (start or events[0]).get("run", "?")
@@ -227,6 +274,16 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
         lines.append("")
         lines.append("Stage timing (spans)")
         lines.extend(_table(["stage", "count", "total_s", "mean_ms", "share", "errors"], rows))
+
+    if profile:
+        from repro.obs.profile import render_profile, summarize_profile
+
+        prof = summarize_profile(events, top=top)
+        lines.append("")
+        if prof is None:
+            lines.append("Profile: no spans in trace")
+        else:
+            lines.extend(render_profile(prof))
 
     refinements = summarize_refinements(events)
     if refinements:
@@ -302,7 +359,8 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
         lines.append("Serving (sign-off job service)")
         rows = [
             [kind, s["done"], s["retried"], s["stale"], s["timed_out"],
-             _fmt(s["mean_latency"]), _fmt(s["max_latency"])]
+             _fmt(s["p50_latency"]), _fmt(s["p90_latency"]),
+             _fmt(s["p99_latency"]), _fmt(s["max_latency"])]
             for kind, s in serving["kinds"].items()
         ]
         if rows:
@@ -310,7 +368,7 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
                 "  " + ln
                 for ln in _table(
                     ["job kind", "done", "retried", "stale", "timeo",
-                     "mean_s", "max_s"],
+                     "p50_s", "p90_s", "p99_s", "max_s"],
                     rows,
                 )
             )
@@ -327,6 +385,45 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
                 f"delays {chaos.get('chaos_delay', 0)}, "
                 f"corruptions {chaos.get('chaos_corrupt', 0)}, "
                 f"checkpoint resets {serving['checkpoint_resets']}"
+            )
+
+    slo = summarize_slo(events)
+    if slo is not None:
+        lines.append("")
+        lines.append("SLO (burn-rate alerts)")
+        for ev in slo["transitions"]:
+            verb = "FIRED" if ev["kind"] == "slo_alert" else "cleared"
+            lines.append(
+                f"  t={float(ev.get('t', 0.0)):.3f}  {ev.get('slo', '?')} "
+                f"({ev.get('job_kind', '*')}, target "
+                f"{_fmt(float(ev.get('target', 0.0)))}) {verb}"
+            )
+        rows = []
+        for obj in slo["objectives"]:
+            rows.append(
+                [
+                    obj.get("name", "?"),
+                    obj.get("kind", "*"),
+                    _fmt(float(obj.get("target", 0.0))),
+                    obj.get("events", 0),
+                    obj.get("bad", 0),
+                    obj.get("fired_total", 0),
+                    obj.get("cleared_total", 0),
+                    "FIRING" if obj.get("firing") else "ok",
+                ]
+            )
+        if rows:
+            lines.extend(
+                "  " + ln
+                for ln in _table(
+                    ["objective", "kind", "target", "events", "bad",
+                     "fired", "cleared", "state"],
+                    rows,
+                )
+            )
+        if slo["firing"]:
+            lines.append(
+                "  still firing at shutdown: " + ", ".join(slo["firing"])
             )
 
     epochs = [e for e in events if e.get("kind") == "train_epoch"]
@@ -357,10 +454,18 @@ def render_report(events: Sequence[Dict[str, Any]]) -> str:
             lines.append("")
             lines.append("Histograms")
             rows = [
-                [name, h.get("count", 0), h.get("mean", 0.0), h.get("min", 0.0), h.get("max", 0.0)]
+                [name, h.get("count", 0), h.get("mean", 0.0),
+                 h.get("p50", 0.0), h.get("p90", 0.0), h.get("p99", 0.0),
+                 h.get("min", 0.0), h.get("max", 0.0)]
                 for name, h in sorted(hists.items())
             ]
-            lines.extend(_table(["histogram", "count", "mean", "min", "max"], rows))
+            lines.extend(
+                _table(
+                    ["histogram", "count", "mean", "p50", "p90", "p99",
+                     "min", "max"],
+                    rows,
+                )
+            )
 
     notable = {}
     for ev in events:
@@ -389,9 +494,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro report",
         description="Summarize a telemetry trace (JSONL) written with --trace.",
     )
-    parser.add_argument("trace", nargs="+", help="trace file(s) to summarize")
+    parser.add_argument(
+        "trace", nargs="*", help="trace file(s) to summarize"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="add the span self-time hotspot/flame section",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="hotspot rows in the --profile table (default 15)",
+    )
+    parser.add_argument(
+        "--bench-trend",
+        metavar="HISTORY",
+        default=None,
+        help="render per-kernel speedup trends from a bench history "
+        "JSONL (written by `python -m repro.bench --history`)",
+    )
     args = parser.parse_args(argv)
+    if not args.trace and not args.bench_trend:
+        parser.error("need a trace file and/or --bench-trend HISTORY")
     status = 0
+    if args.bench_trend:
+        from repro.bench.history import load_history, render_trends
+
+        try:
+            rows = load_history(args.bench_trend)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            status = 1
+        else:
+            sys.stdout.write(render_trends(rows))
+            if args.trace:
+                sys.stdout.write("\n")
     for i, path in enumerate(args.trace):
         if i:
             sys.stdout.write("\n")
@@ -409,7 +548,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"warning: {path} uses schema {schema}, newer than this "
                 f"reader ({SCHEMA_VERSION}) — fields may be missing\n"
             )
-        sys.stdout.write(render_report(events))
+        sys.stdout.write(
+            render_report(events, profile=args.profile, top=args.top)
+        )
     return status
 
 

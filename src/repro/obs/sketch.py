@@ -1,0 +1,240 @@
+"""Deterministic log-bucket quantile sketch for the metric registry.
+
+The telemetry histograms used to keep only count/sum/min/max, which
+cannot express a latency SLO ("p99 of ``serve.latency.signoff`` under
+50 ms").  :class:`LogBucketSketch` upgrades them to a zero-dependency
+DDSketch-style summary:
+
+* **fixed boundaries** — bucket ``i`` covers ``(GAMMA**(i-1), GAMMA**i]``
+  for positive values, with dedicated zero and (mirrored) negative
+  buckets, so the bucket a value lands in depends only on the value,
+  never on insertion order or on what else the sketch has seen;
+* **bounded relative error** — ``GAMMA = 1.1`` keeps every reported
+  quantile within ~5% relative error of the true value, clamped into
+  the exact observed ``[min, max]``;
+* **mergeable** — two sketches merge by adding their (integer) bucket
+  counts and combining min/max, so per-worker registries fold into the
+  parent run through the existing ``Telemetry.merge_metrics`` path.
+  Bucket counts, count, extrema — and therefore every reported
+  quantile — are exactly order-independent under merge (integer adds
+  and min/max are associative and commutative); only the float ``sum``
+  is subject to the usual last-ulp float-addition reassociation.
+
+The JSON form (`summary()`) is what lands in the trace's ``metrics``
+event and what ``merge()`` consumes; pre-v2 summaries without bucket
+data still merge (their mass is attributed to the bucket of their mean
+— the best available estimate), so old traces remain readable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Tuple
+
+#: Bucket growth factor: relative quantile error is
+#: (GAMMA - 1) / (GAMMA + 1) ~= 4.8%.
+GAMMA = 1.1
+
+_LOG_GAMMA = math.log(GAMMA)
+
+#: Magnitudes below this collapse into the zero bucket (they are far
+#: below any latency/size this repo measures, and a hard floor keeps
+#: bucket indices bounded).
+MIN_TRACKED = 1e-12
+
+#: Quantiles every histogram summary reports.
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+
+def bucket_index(value: float) -> int:
+    """Deterministic bucket index for a positive magnitude."""
+    return int(math.ceil(math.log(value) / _LOG_GAMMA))
+
+
+def bucket_value(index: int) -> float:
+    """Representative value of bucket ``index``.
+
+    Bucket ``i`` covers ``(GAMMA**(i-1), GAMMA**i]``; the harmonic
+    midpoint ``2*GAMMA**i/(GAMMA+1)`` keeps the worst-case relative
+    error symmetric at ``(GAMMA-1)/(GAMMA+1)`` (the DDSketch choice)
+    instead of the one-sided ``GAMMA-1`` an upper-bound representative
+    would give.
+    """
+    return 2.0 * GAMMA ** index / (GAMMA + 1.0)
+
+
+class LogBucketSketch:
+    """Streaming quantile histogram over fixed log-spaced buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets", "neg_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.zeros = 0
+        self.buckets: Dict[int, int] = {}  # value > 0, keyed by bucket_index
+        self.neg_buckets: Dict[int, int] = {}  # value < 0, keyed by bucket_index(-v)
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if not math.isfinite(value):
+            # Non-finite samples keep legacy count/sum semantics but
+            # carry no rank information; quantiles ignore them.
+            return
+        if abs(value) < MIN_TRACKED:
+            self.zeros += 1
+        elif value > 0:
+            i = bucket_index(value)
+            self.buckets[i] = self.buckets.get(i, 0) + 1
+        else:
+            i = bucket_index(-value)
+            self.neg_buckets[i] = self.neg_buckets.get(i, 0) + 1
+
+    # ------------------------------------------------------------------
+    def _ranked(self) -> int:
+        """Samples that carry rank information (finite adds)."""
+        return (
+            self.zeros
+            + sum(self.buckets.values())
+            + sum(self.neg_buckets.values())
+        )
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate, clamped into [min, max]."""
+        n = self._ranked()
+        if n <= 0:
+            return self.min if math.isfinite(self.min) else 0.0
+        q = min(1.0, max(0.0, float(q)))
+        rank = max(1, int(math.ceil(q * n)))
+        seen = 0
+        # Value order: negatives (most negative first = descending
+        # mirrored index), then zeros, then positives ascending.
+        for i in sorted(self.neg_buckets, reverse=True):
+            seen += self.neg_buckets[i]
+            if seen >= rank:
+                return self._clamp(-bucket_value(i))
+        seen += self.zeros
+        if seen >= rank:
+            return self._clamp(0.0)
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if seen >= rank:
+                return self._clamp(bucket_value(i))
+        return self._clamp(self.max)  # pragma: no cover - rank <= n
+
+    def _clamp(self, value: float) -> float:
+        if math.isfinite(self.min):
+            value = max(value, self.min)
+        if math.isfinite(self.max):
+            value = min(value, self.max)
+        return value
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready summary (the ``metrics`` event / merge format)."""
+        mean = self.total / self.count if self.count else 0.0
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+        for name, q in QUANTILES:
+            out[name] = self.quantile(q) if self.count else 0.0
+        out["buckets"] = {str(i): self.buckets[i] for i in sorted(self.buckets)}
+        if self.zeros:
+            out["zeros"] = self.zeros
+        if self.neg_buckets:
+            out["neg_buckets"] = {
+                str(i): self.neg_buckets[i] for i in sorted(self.neg_buckets)
+            }
+        return out
+
+    def merge(self, summary: Dict[str, Any]) -> None:
+        """Fold another sketch's summary into this one.
+
+        Tolerates every degenerate shape the stitching path can see:
+        ``{}`` / zero-count summaries are no-ops; missing bucket keys
+        (a pre-v2 count/sum/min/max summary) fall back to attributing
+        the incoming mass to the bucket of its mean value, so ranks
+        stay consistent with ``count``.
+        """
+        if not summary:
+            return
+        count = int(summary.get("count", 0) or 0)
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(summary.get("sum", 0.0) or 0.0)
+        smin = float(summary.get("min", self.min))
+        smax = float(summary.get("max", self.max))
+        if smin < self.min:
+            self.min = smin
+        if smax > self.max:
+            self.max = smax
+        buckets = summary.get("buckets")
+        zeros = int(summary.get("zeros", 0) or 0)
+        neg = summary.get("neg_buckets")
+        if buckets is None and zeros == 0 and neg is None:
+            # Legacy summary with no rank data: place its mass at its
+            # mean so quantile ranks still account for every sample.
+            mean = float(summary.get("sum", 0.0) or 0.0) / count
+            if math.isfinite(mean):
+                self._merge_point(mean, count)
+            return
+        self.zeros += zeros
+        for key, n in (buckets or {}).items():
+            i = int(key)
+            self.buckets[i] = self.buckets.get(i, 0) + int(n)
+        for key, n in (neg or {}).items():
+            i = int(key)
+            self.neg_buckets[i] = self.neg_buckets.get(i, 0) + int(n)
+
+    def _merge_point(self, value: float, count: int) -> None:
+        if abs(value) < MIN_TRACKED:
+            self.zeros += count
+        elif value > 0:
+            i = bucket_index(value)
+            self.buckets[i] = self.buckets.get(i, 0) + count
+        else:
+            i = bucket_index(-value)
+            self.neg_buckets[i] = self.neg_buckets.get(i, 0) + count
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LogBucketSketch":
+        sketch = cls()
+        for v in values:
+            sketch.add(v)
+        return sketch
+
+    @classmethod
+    def merged(cls, summaries: Iterable[Dict[str, Any]]) -> "LogBucketSketch":
+        sketch = cls()
+        for s in summaries:
+            sketch.merge(s)
+        return sketch
+
+
+__all__ = [
+    "GAMMA",
+    "MIN_TRACKED",
+    "QUANTILES",
+    "LogBucketSketch",
+    "bucket_index",
+    "bucket_value",
+]

@@ -1,0 +1,308 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+The serving layer records one *event* per terminal job outcome (done /
+shed / quarantined); an :class:`SLObjective` declares what fraction of
+those events must be *good* (``target``) for a job kind, optionally
+also bounding latency.  :class:`SLOEngine` evaluates the classic SRE
+multi-window burn-rate rule on an **injectable clock**:
+
+    burn = bad_fraction / (1 - target)
+
+i.e. how many times faster than "allowed" the error budget is being
+spent.  An alert fires when **both** the long and the short window of
+any configured ``(long_s, short_s, threshold)`` tuple burn at or above
+the threshold — the long window gives significance, the short window
+makes the alert clear quickly once the fault stops.  Transitions emit
+``slo_alert`` / ``slo_clear`` telemetry events (guarded, like every
+serve-path emission) so traces show exactly when and why an objective
+degraded; ``python -m repro report`` renders them as the SLO section.
+
+Everything is deterministic under a :class:`~repro.runtime.budget.ManualClock`:
+the chaos tests inject a latency fault, watch the alert fire, advance
+virtual time, and watch it clear — byte-identical every run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.telemetry import get_telemetry
+
+#: Default multi-window burn thresholds, scaled to serve-CLI runs that
+#: last seconds to minutes (the classic SRE 1h/6h pairs assume a 30-day
+#: budget horizon; the maths is identical, only the horizon shrinks).
+#: Tuples are ``(long_window_s, short_window_s, burn_threshold)``.
+DEFAULT_WINDOWS: Tuple[Tuple[float, float, float], ...] = (
+    (30.0, 5.0, 2.0),
+    (120.0, 30.0, 1.0),
+)
+
+#: Kind wildcard: objective applies to every job kind.
+ANY_KIND = "*"
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective over terminal job outcomes.
+
+    An event is *good* when the job completed ``ok`` — not shed, not
+    quarantined, not timed out — and, when ``latency_threshold_s`` is
+    set, finished within it.  ``target`` is the required good fraction
+    (0.99 = 1% error budget).  ``kind`` selects which job kinds the
+    objective observes (:data:`ANY_KIND` for all).
+    """
+
+    name: str
+    kind: str = ANY_KIND
+    target: float = 0.99
+    latency_threshold_s: Optional[float] = None
+    windows: Tuple[Tuple[float, float, float], ...] = DEFAULT_WINDOWS
+
+    def matches(self, kind: str) -> bool:
+        return self.kind == ANY_KIND or self.kind == kind
+
+    def error_budget(self) -> float:
+        """Allowed bad fraction; floored so target=1.0 stays finite."""
+        return max(1.0 - float(self.target), 1e-9)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "latency_threshold_s": self.latency_threshold_s,
+            "windows": [list(w) for w in self.windows],
+        }
+
+
+@dataclass
+class _ObjectiveState:
+    """Mutable per-objective tracking inside the engine."""
+
+    objective: SLObjective
+    samples: Deque[Tuple[float, bool]] = field(default_factory=deque)
+    firing: bool = False
+    events: int = 0
+    bad: int = 0
+    fired_total: int = 0
+    cleared_total: int = 0
+
+    def horizon(self) -> float:
+        return max(w[0] for w in self.objective.windows)
+
+
+class SLOEngine:
+    """Evaluates a set of objectives over a stream of job outcomes.
+
+    Parameters
+    ----------
+    objectives:
+        The :class:`SLObjective` declarations to track.
+    clock:
+        Monotonic time source; inject ``ManualClock.now`` for
+        deterministic alert timing (defaults to the caller passing
+        explicit ``now=`` or installing a clock later via
+        :attr:`clock`).
+    """
+
+    def __init__(
+        self,
+        objectives: Iterable[SLObjective],
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.objectives: Tuple[SLObjective, ...] = tuple(objectives)
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO objective names: {names}")
+        self.clock = clock
+        self._states: Dict[str, _ObjectiveState] = {
+            o.name: _ObjectiveState(o) for o in self.objectives
+        }
+
+    # ------------------------------------------------------------------
+    def _now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return float(now)
+        if self.clock is None:
+            raise ValueError("SLOEngine needs a clock or an explicit now=")
+        return self.clock()
+
+    def observe(
+        self,
+        kind: str,
+        *,
+        latency: Optional[float] = None,
+        ok: bool = True,
+        shed: bool = False,
+        quarantined: bool = False,
+        timed_out: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record one terminal job outcome against matching objectives."""
+        t = self._now(now)
+        for state in self._states.values():
+            obj = state.objective
+            if not obj.matches(kind):
+                continue
+            good = ok and not (shed or quarantined or timed_out)
+            if (
+                good
+                and obj.latency_threshold_s is not None
+                and latency is not None
+                and latency > obj.latency_threshold_s
+            ):
+                good = False
+            state.samples.append((t, good))
+            state.events += 1
+            if not good:
+                state.bad += 1
+            self._prune(state, t)
+
+    @staticmethod
+    def _prune(state: _ObjectiveState, now: float) -> None:
+        cutoff = now - state.horizon()
+        samples = state.samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _burn(state: _ObjectiveState, now: float, window_s: float) -> float:
+        """Burn rate over the trailing window (0.0 when empty)."""
+        cutoff = now - window_s
+        total = bad = 0
+        for t, good in reversed(state.samples):
+            if t < cutoff:
+                break
+            total += 1
+            if not good:
+                bad += 1
+        if total == 0:
+            return 0.0
+        return (bad / total) / state.objective.error_budget()
+
+    def evaluate(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Re-evaluate every objective; emit alert/clear transitions.
+
+        Returns one status dict per objective (stable order).  Firing
+        transitions emit guarded ``slo_alert`` / ``slo_clear``
+        telemetry events and bump the ``slo.alerts_fired`` /
+        ``slo.alerts_cleared`` counters.
+        """
+        t = self._now(now)
+        tel = get_telemetry()
+        statuses: List[Dict[str, Any]] = []
+        for obj in self.objectives:
+            state = self._states[obj.name]
+            self._prune(state, t)
+            windows = []
+            firing = False
+            worst = 0.0
+            for long_s, short_s, threshold in obj.windows:
+                burn_long = self._burn(state, t, long_s)
+                burn_short = self._burn(state, t, short_s)
+                pair_firing = burn_long >= threshold and burn_short >= threshold
+                firing = firing or pair_firing
+                worst = max(worst, min(burn_long, burn_short) / threshold)
+                windows.append(
+                    {
+                        "long_s": long_s,
+                        "short_s": short_s,
+                        "threshold": threshold,
+                        "burn_long": burn_long,
+                        "burn_short": burn_short,
+                        "firing": pair_firing,
+                    }
+                )
+            if firing and not state.firing:
+                state.firing = True
+                state.fired_total += 1
+                if tel.enabled:
+                    tel.count("slo.alerts_fired")
+                    tel.event(
+                        "slo_alert",
+                        slo=obj.name,
+                        job_kind=obj.kind,
+                        target=obj.target,
+                        windows=windows,
+                    )
+            elif not firing and state.firing:
+                state.firing = False
+                state.cleared_total += 1
+                if tel.enabled:
+                    tel.count("slo.alerts_cleared")
+                    tel.event(
+                        "slo_clear",
+                        slo=obj.name,
+                        job_kind=obj.kind,
+                        target=obj.target,
+                        windows=windows,
+                    )
+            statuses.append(
+                {
+                    "name": obj.name,
+                    "kind": obj.kind,
+                    "target": obj.target,
+                    "latency_threshold_s": obj.latency_threshold_s,
+                    "firing": state.firing,
+                    "worst_burn_ratio": worst,
+                    "windows": windows,
+                    "events": state.events,
+                    "bad": state.bad,
+                    "fired_total": state.fired_total,
+                    "cleared_total": state.cleared_total,
+                }
+            )
+        return statuses
+
+    # ------------------------------------------------------------------
+    def firing(self) -> List[str]:
+        """Names of objectives currently in the firing state."""
+        return [o.name for o in self.objectives if self._states[o.name].firing]
+
+    def snapshot(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Alias of :meth:`evaluate` for end-of-run status dumps."""
+        return self.evaluate(now)
+
+
+def parse_objective(spec: str) -> SLObjective:
+    """Build an objective from a CLI spec string.
+
+    Format: ``name:kind[:target[:latency_s[:long/short/burn,...]]]``,
+    e.g. ``signoff-latency:signoff:0.9:0.05`` (90% of signoff jobs
+    under 50 ms) or ``avail:*:0.95`` (95% of all jobs succeed).
+    Window tuples are optional and comma-separated.
+    """
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError(
+            f"bad --slo spec {spec!r}; want name:kind[:target[:latency_s[:windows]]]"
+        )
+    name, kind = parts[0], parts[1] or ANY_KIND
+    target = float(parts[2]) if len(parts) > 2 and parts[2] else 0.99
+    latency = float(parts[3]) if len(parts) > 3 and parts[3] else None
+    windows = DEFAULT_WINDOWS
+    if len(parts) > 4 and parts[4]:
+        parsed = []
+        for w in parts[4].split(","):
+            long_s, short_s, burn = (float(x) for x in w.split("/"))
+            parsed.append((long_s, short_s, burn))
+        windows = tuple(parsed)
+    return SLObjective(
+        name=name,
+        kind=kind,
+        target=target,
+        latency_threshold_s=latency,
+        windows=windows,
+    )
+
+
+__all__ = [
+    "ANY_KIND",
+    "DEFAULT_WINDOWS",
+    "SLOEngine",
+    "SLObjective",
+    "parse_objective",
+]

@@ -38,11 +38,14 @@ import uuid
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.obs.sketch import LogBucketSketch
+
 #: Version of the JSONL event schema.  Bumped on any incompatible field
 #: change; embedded in every ``run_start`` event and in checkpoint
 #: metadata so a resumed run can verify it stitches onto a compatible
-#: trace.
-SCHEMA_VERSION = 1
+#: trace.  v2: histogram summaries became log-bucket quantile sketches
+#: (``p50``/``p90``/``p99`` + sparse ``buckets``; repro.obs.sketch).
+SCHEMA_VERSION = 2
 
 #: Fields reserved by the envelope — instrumentation attrs must not
 #: shadow them.
@@ -131,44 +134,9 @@ class NullTelemetry:
 NULL_TELEMETRY = NullTelemetry()
 
 
-class _Hist:
-    """Streaming histogram summary: count / sum / min / max."""
-
-    __slots__ = ("count", "total", "min", "max")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-
-    def add(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-
-    def summary(self) -> Dict[str, float]:
-        mean = self.total / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-        }
-
-    def merge(self, summary: Dict[str, float]) -> None:
-        """Fold another histogram's count/sum/min/max summary into this one."""
-        count = int(summary.get("count", 0))
-        if count <= 0:
-            return
-        self.count += count
-        self.total += float(summary.get("sum", 0.0))
-        self.min = min(self.min, float(summary.get("min", self.min)))
-        self.max = max(self.max, float(summary.get("max", self.max)))
+#: Histogram implementation: deterministic log-bucket quantile sketch
+#: (count/sum/min/max plus p50/p90/p99 and mergeable bucket counts).
+_Hist = LogBucketSketch
 
 
 class Span:
@@ -322,13 +290,20 @@ class Telemetry:
         Used by the parallel experiment runner to stitch per-worker
         metric registries into the parent run: counters add, gauges
         take the incoming value (last writer wins, as with
-        :meth:`gauge`), histogram summaries merge count/sum/min/max.
+        :meth:`gauge`), histogram sketches merge their bucket counts
+        and extrema (order-independent; :mod:`repro.obs.sketch`).
+        Missing keys, empty snapshots and empty histogram summaries
+        are all tolerated as no-ops.
         """
+        if not snapshot:
+            return
         for name, n in (snapshot.get("counters") or {}).items():
-            self.count(name, int(n))
+            self.count(name, int(n or 0))
         for name, value in (snapshot.get("gauges") or {}).items():
             self.gauge(name, value)
         for name, summary in (snapshot.get("hists") or {}).items():
+            if not summary:
+                continue  # empty histogram: nothing to fold in
             h = self._hists.get(name)
             if h is None:
                 h = self._hists[name] = _Hist()

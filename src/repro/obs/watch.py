@@ -1,0 +1,249 @@
+"""``python -m repro watch <trace.jsonl>`` — live view of a running trace.
+
+Tail-follows a telemetry trace as the service writes it and re-renders
+a compact dashboard on every poll: queue depth, per-kind throughput and
+latency quantiles (fed into a :class:`~repro.obs.sketch.LogBucketSketch`
+event by event, the same sketch the registry flush uses), and the SLO
+alert state from ``slo_alert``/``slo_clear`` transitions.
+
+The tailer is crash-safe against the writer: a partially written final
+line stays buffered until its newline arrives, so a poll never sees a
+torn JSON record; a corrupt *complete* line (e.g. the writer died mid
+``run_end``) is skipped.  The watch exits when the trace's ``run_end``
+event appears, or immediately after one render with ``--once`` (used
+by tests and CI smoke).
+
+Queue depth is derived from the event stream — ``enqueued − started``,
+where enqueued counts submissions and retries — because the registry
+gauges only flush once, at close.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.sketch import LogBucketSketch
+
+
+class TraceTail:
+    """Incremental JSONL reader tolerating a partially written tail."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._pos = 0
+        self._buf = ""
+        self.skipped = 0  # complete-but-corrupt lines dropped
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """New complete events since the last poll (possibly empty)."""
+        if not self.path.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            fh.seek(self._pos)
+            chunk = fh.read()
+            self._pos = fh.tell()
+        if not chunk:
+            return []
+        data = self._buf + chunk
+        lines = data.split("\n")
+        self._buf = lines.pop()  # "" when data ended in a newline
+        events: List[Dict[str, Any]] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped += 1
+                continue
+            if isinstance(record, dict) and "kind" in record:
+                events.append(record)
+            else:
+                self.skipped += 1
+        return events
+
+
+class WatchState:
+    """Streaming aggregation of the serving-relevant event kinds."""
+
+    def __init__(self) -> None:
+        self.run_id: Optional[str] = None
+        self.started: Optional[float] = None
+        self.last_t: float = 0.0
+        self.events = 0
+        self.enqueued = 0
+        self.dispatched = 0
+        self.shed = 0
+        self.quarantined = 0
+        self.degraded = 0
+        self.worker_deaths = 0
+        self.by_kind: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.firing: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.alerts_fired = 0
+        self.alerts_cleared = 0
+        self.ended = False
+
+    def _kind(self, kind: str) -> Dict[str, Any]:
+        return self.by_kind.setdefault(
+            kind, {"done": 0, "sketch": LogBucketSketch()}
+        )
+
+    def apply(self, ev: Dict[str, Any]) -> None:
+        self.events += 1
+        t = float(ev.get("t", self.last_t))
+        self.last_t = max(self.last_t, t)
+        kind = ev.get("kind")
+        if kind == "run_start":
+            self.run_id = ev.get("run")
+            self.started = t
+        elif kind in ("job_submitted", "job_retry"):
+            self.enqueued += 1
+        elif kind == "job_started":
+            self.dispatched += 1
+        elif kind == "job_done":
+            s = self._kind(str(ev.get("job_kind", "?")))
+            s["done"] += 1
+            s["sketch"].add(float(ev.get("latency", 0.0)))
+        elif kind == "job_shed":
+            self.shed += 1
+        elif kind == "job_quarantined":
+            self.quarantined += 1
+        elif kind == "job_degraded":
+            self.degraded += 1
+        elif kind == "worker_killed":
+            self.worker_deaths += 1
+        elif kind == "slo_alert":
+            self.alerts_fired += 1
+            self.firing[str(ev.get("slo", "?"))] = ev
+        elif kind == "slo_clear":
+            self.alerts_cleared += 1
+            self.firing.pop(str(ev.get("slo", "?")), None)
+        elif kind == "run_end":
+            self.ended = True
+
+    def queue_depth(self) -> int:
+        return max(0, self.enqueued - self.dispatched)
+
+    def render(self) -> str:
+        from repro.obs.report import _table  # shared table helper
+
+        wall = max(self.last_t - (self.started or 0.0), 1e-9)
+        lines = [
+            f"watch: run {self.run_id or '?'} — {self.events} events, "
+            f"t={self.last_t:.3f}s"
+            + ("  [run ended]" if self.ended else ""),
+            f"queue depth {self.queue_depth()}  shed {self.shed}  "
+            f"quarantined {self.quarantined}  stale {self.degraded}  "
+            f"worker deaths {self.worker_deaths}",
+        ]
+        rows = []
+        for kind, s in self.by_kind.items():
+            sk: LogBucketSketch = s["sketch"]
+            rows.append(
+                [
+                    kind,
+                    s["done"],
+                    f"{s['done'] / wall:.2f}",
+                    f"{sk.quantile(0.5):.4f}",
+                    f"{sk.quantile(0.9):.4f}",
+                    f"{sk.quantile(0.99):.4f}",
+                ]
+            )
+        if rows:
+            lines.extend(
+                _table(
+                    ["job kind", "done", "thru/s", "p50_s", "p90_s", "p99_s"],
+                    rows,
+                )
+            )
+        if self.firing:
+            names = ", ".join(self.firing)
+            lines.append(f"SLO ALERTS FIRING: {names}")
+        elif self.alerts_fired:
+            lines.append(
+                f"slo alerts: {self.alerts_fired} fired, "
+                f"{self.alerts_cleared} cleared, none firing"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def watch(
+    path: Union[str, Path],
+    *,
+    interval: float = 0.5,
+    once: bool = False,
+    timeout: Optional[float] = None,
+    out=None,
+    sleep=time.sleep,
+    clock=time.monotonic,
+) -> WatchState:
+    """Follow ``path`` until its run ends; returns the final state.
+
+    ``once`` renders the current contents a single time (no waiting);
+    ``timeout`` bounds the follow loop in seconds (None = until
+    ``run_end``).  ``out``/``sleep``/``clock`` are injectable for
+    deterministic tests.
+    """
+    out = out if out is not None else sys.stdout
+    tail = TraceTail(path)
+    state = WatchState()
+    t0 = clock()
+    clear = "\x1b[2J\x1b[H" if getattr(out, "isatty", lambda: False)() else ""
+    while True:
+        for ev in tail.poll():
+            state.apply(ev)
+        out.write(clear + state.render())
+        out.flush()
+        if once or state.ended:
+            return state
+        if timeout is not None and clock() - t0 >= timeout:
+            return state
+        sleep(interval)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro watch",
+        description="Tail-follow a live telemetry trace "
+        "(docs/OBSERVABILITY.md).",
+    )
+    parser.add_argument("trace", help="trace JSONL being written with --trace")
+    parser.add_argument(
+        "--interval", type=float, default=0.5, help="poll interval seconds"
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current contents once and exit",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="stop following after this many seconds",
+    )
+    args = parser.parse_args(argv)
+    if not args.once and not Path(args.trace).exists():
+        sys.stderr.write(f"error: trace not found: {args.trace}\n")
+        return 1
+    state = watch(
+        args.trace,
+        interval=args.interval,
+        once=args.once,
+        timeout=args.timeout,
+    )
+    return 0 if (state.ended or args.once) else 1
+
+
+__all__ = ["TraceTail", "WatchState", "main", "watch"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

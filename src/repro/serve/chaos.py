@@ -54,11 +54,19 @@ class KillWorker:
 
 @dataclass(frozen=True)
 class DelayDispatch:
-    """Stall a matching job's dispatch by ``seconds`` (injectable sleep)."""
+    """Stall a matching job's dispatch by ``seconds`` (injectable sleep).
+
+    ``max_fires`` bounds how many matching dispatches the delay hits
+    (None = every one).  A bounded delay is the canonical latency
+    fault for SLO tests: the first ``max_fires`` jobs blow the latency
+    budget and fire the burn-rate alert, the rest run fast and clear
+    it — all on virtual time.
+    """
 
     job: str = "*"
     on_attempt: int = 1
     seconds: float = 0.0
+    max_fires: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -82,6 +90,7 @@ class ChaosMonkey:
         self.delays = tuple(s for s in specs if isinstance(s, DelayDispatch))
         self.corruptions = list(s for s in specs if isinstance(s, CorruptCheckpoint))
         self._ticks: Dict[Tuple[str, int], int] = {}
+        self._delay_fires: Dict[int, int] = {}  # per-spec fire counts
         self.kills_fired = 0
         self.delays_fired = 0
         self.corruptions_fired = 0
@@ -94,8 +103,12 @@ class ChaosMonkey:
 
     async def on_dispatch(self, job: Job, asleep) -> None:
         """Called by the worker right before the handler runs."""
-        for spec in self.delays:
+        for index, spec in enumerate(self.delays):
             if _matches(spec.job, job) and job.attempts == spec.on_attempt:
+                fired = self._delay_fires.get(index, 0)
+                if spec.max_fires is not None and fired >= spec.max_fires:
+                    continue
+                self._delay_fires[index] = fired + 1
                 self.delays_fired += 1
                 tel = self._tel()
                 if tel.enabled:

@@ -18,6 +18,7 @@ import tempfile
 from pathlib import Path
 
 from repro.obs import Telemetry, setup_logging, telemetry_session
+from repro.obs.slo import parse_objective
 from repro.serve.admission import AdmissionConfig
 from repro.serve.chaos import (
     ChaosMonkey,
@@ -89,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a telemetry trace (JSONL) to PATH; summarize with "
         "`python -m repro report PATH`",
     )
+    parser.add_argument(
+        "--slo",
+        metavar="SPEC",
+        action="append",
+        default=[],
+        help="SLO objective `name:kind[:target[:latency_s[:long/short/"
+        "burn,...]]]`, e.g. signoff-lat:signoff:0.9:0.05 — repeatable; "
+        "exit code 3 when an alert is still firing at shutdown",
+    )
     parser.add_argument("--verbose", "-v", action="count", default=0)
     parser.add_argument("--quiet", "-q", action="count", default=0)
     return parser
@@ -109,7 +119,7 @@ def default_chaos() -> ChaosMonkey:
     )
 
 
-async def _serve(args, chaos, checkpoint_dir: Path):
+async def _serve(args, chaos, checkpoint_dir: Path, objectives):
     warm = WarmStateCache(scale=args.scale)
     service = SignoffService(
         warm=warm,
@@ -118,6 +128,7 @@ async def _serve(args, chaos, checkpoint_dir: Path):
         chaos=chaos,
         checkpoint_dir=checkpoint_dir,
         process_jobs=args.process_jobs,
+        slo=objectives or None,
     )
     traffic = TrafficConfig(
         jobs=args.jobs,
@@ -136,6 +147,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(args.verbose - args.quiet)
     chaos = default_chaos() if args.chaos else None
+    objectives = [parse_objective(spec) for spec in args.slo]
     with contextlib.ExitStack() as stack:
         if args.trace:
             tel = stack.enter_context(Telemetry(path=args.trace))
@@ -145,7 +157,7 @@ def main(argv=None) -> int:
             ckpt_dir.mkdir(parents=True, exist_ok=True)
         else:
             ckpt_dir = Path(stack.enter_context(tempfile.TemporaryDirectory()))
-        service, report = asyncio.run(_serve(args, chaos, ckpt_dir))
+        service, report = asyncio.run(_serve(args, chaos, ckpt_dir, objectives))
 
     summary = report.summary()
     _say("=== serve summary ===")
@@ -168,12 +180,26 @@ def main(argv=None) -> int:
             f"chaos: kills {chaos.kills_fired}  delays {chaos.delays_fired}  "
             f"corruptions {chaos.corruptions_fired}"
         )
+    firing = []
+    if service.slo is not None:
+        firing = [s["name"] for s in (service.slo_final or []) if s["firing"]]
+        for status in service.slo_final or []:
+            mark = "FIRING" if status["firing"] else "ok"
+            _say(
+                f"slo {status['name']} ({status['kind']}, target "
+                f"{status['target']:g}): {mark}  events {status['events']}  "
+                f"bad {status['bad']}  fired {status['fired_total']}  "
+                f"cleared {status['cleared_total']}"
+            )
     if args.trace:
         _say(f"telemetry trace written to {args.trace}")
     if summary["lost"] != 0:
         _say(f"LOST JOBS: {summary['lost']} accepted jobs never resolved")
         return 1
     _say("lost 0")
+    if firing:
+        _say("SLO BREACH: still firing at shutdown: " + ", ".join(firing))
+        return 3
     return 0
 
 

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.obs import get_telemetry
+from repro.obs.slo import SLOEngine, SLObjective
 from repro.runtime.budget import Budget, ManualClock
 from repro.runtime.retry import backoff_delay
 from repro.serve.admission import AdmissionConfig, AdmissionController
@@ -138,6 +139,7 @@ class SignoffService:
         process_jobs: int = 0,
         process_kinds: tuple = (KIND_REFINE, KIND_TRAIN),
         degrade_signoff: bool = True,
+        slo: Optional[Union[SLOEngine, List[SLObjective], tuple]] = None,
     ) -> None:
         if handlers is None:
             from repro.serve.handlers import default_handlers
@@ -164,6 +166,19 @@ class SignoffService:
         )
         self._process_kinds = tuple(process_kinds)
         self.degrade_signoff = bool(degrade_signoff)
+        # SLO burn-rate alerting (docs/OBSERVABILITY.md): either a
+        # ready SLOEngine (caller owns its clock) or a list of
+        # objectives, wrapped around the service clock so chaos tests
+        # on virtual time get deterministic alert transitions.
+        if slo is None or isinstance(slo, SLOEngine):
+            self.slo: Optional[SLOEngine] = slo
+            if slo is not None and slo.clock is None:
+                slo.clock = self._clock
+        else:
+            self.slo = SLOEngine(slo, clock=self._clock)
+        #: Final per-objective SLO statuses, captured at close() so the
+        #: CLI reports the state *at shutdown*, not a later re-read.
+        self.slo_final: Optional[List[Dict[str, Any]]] = None
 
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._pending_by_kind: Dict[str, int] = {}
@@ -210,6 +225,14 @@ class SignoffService:
             await self._process.aclose()
         self._started = False
         tel = get_telemetry()
+        if self.slo is not None:
+            statuses = self.slo_final = self.slo.evaluate()
+            if tel.enabled:
+                tel.event(
+                    "slo_status",
+                    objectives=statuses,
+                    firing=self.slo.firing(),
+                )
         if tel.enabled:
             tel.event(
                 "serve_end",
@@ -342,6 +365,9 @@ class SignoffService:
         )
         self.results[job.job_id] = result
         ticket.future.set_result(result)
+        if self.slo is not None:
+            self.slo.observe(job.kind, shed=True)
+            self.slo.evaluate()
         tel = get_telemetry()
         if tel.enabled:
             tel.count("serve.shed")
@@ -533,6 +559,9 @@ class SignoffService:
         ticket = self._tickets.pop(job.job_id, None)
         if ticket is not None and not ticket.future.done():
             ticket.future.set_result(result)
+        if self.slo is not None:
+            self.slo.observe(job.kind, quarantined=True, latency=result.latency)
+            self.slo.evaluate()
         tel = get_telemetry()
         if tel.enabled:
             tel.count("serve.quarantined")
@@ -565,6 +594,11 @@ class SignoffService:
         ticket = self._tickets.pop(job.job_id, None)
         if ticket is not None and not ticket.future.done():
             ticket.future.set_result(result)
+        if self.slo is not None:
+            self.slo.observe(
+                job.kind, latency=latency, ok=True, timed_out=timed_out
+            )
+            self.slo.evaluate()
         tel = get_telemetry()
         if tel.enabled:
             tel.count("serve.done")
