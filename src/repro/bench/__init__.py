@@ -28,6 +28,9 @@ a machine-readable report (``BENCH_timing.json``):
 * ``refine_iter`` — a short end-to-end ``refine()`` run per kernel;
   asserts the two trajectories are *bitwise identical* and reports the
   per-iteration speedup (cold = compile included, warm = cached tape).
+* ``serve_throughput`` — serving-layer jobs/sec on burst traffic:
+  query fusion on vs off over the same warm cache, per-job results
+  asserted equal (docs/SERVING.md, "Scaling").
 
 Every kernel records a *speedup* ratio comparing the fast kernel
 against the reference kernel **on the same workload** — never
@@ -560,6 +563,94 @@ def bench_refine_iter(netlist, forest, iterations: int = 10) -> Dict[str, float]
     }
 
 
+def bench_serve_throughput(
+    design: str, jobs: int = 32, repeats: int = 3
+) -> Dict[str, float]:
+    """Serving-layer query throughput: fused vs unfused dispatch.
+
+    Drives one :class:`~repro.serve.service.SignoffService` with the
+    seeded burst traffic of :mod:`repro.serve.loadgen` (whatif-heavy,
+    no commits, back-to-back groups of 8 against one design) twice over
+    the **same** warm cache: batching off, then batching on.  Because
+    the mix never commits coordinates, the two runs answer identical
+    queries against identical warm state — the per-job result values
+    are asserted equal before any timing is reported (the fused
+    ``probe_batch`` path's bitwise contract, docs/SERVING.md).
+
+    ``speedup`` is fused jobs/sec over unfused jobs/sec; the fused run
+    also reports its achieved fusion ratio and mean batch width so the
+    committed baseline records how much coalescing the traffic allowed.
+    """
+    import asyncio
+
+    from repro.serve.batcher import BatchConfig
+    from repro.serve.handlers import default_handlers
+    from repro.serve.loadgen import TrafficConfig, run_load
+    from repro.serve.service import SignoffService
+    from repro.serve.state import WarmStateCache
+
+    cache = WarmStateCache()
+    handlers = default_handlers(cache)
+    traffic = TrafficConfig(
+        jobs=jobs,
+        designs=(design,),
+        seed=7,
+        mix=(5.0, 2.0, 0.0, 0.0),  # whatif-heavy, nothing commits
+        burst_size=8,
+    )
+
+    def run_once(batching):
+        async def _drive():
+            async with SignoffService(
+                handlers=handlers, warm=cache, workers=2, batching=batching
+            ) as svc:
+                return await run_load(svc, traffic)
+
+        t0 = time.perf_counter()
+        report = asyncio.run(_drive())
+        elapsed = time.perf_counter() - t0
+        if report.lost or report.quarantined or report.shed:
+            raise RuntimeError(
+                f"serve_throughput traffic misbehaved: lost {report.lost}, "
+                f"quarantined {report.quarantined}, shed {report.shed}"
+            )
+        return elapsed, report
+
+    # Warm the design, probe engine and scenario STAs once — the bench
+    # measures steady-state serving, not the first-query warmup.
+    run_once(None)
+    batching = BatchConfig(max_batch=8, linger_s=0.0)
+    unfused_s = float("inf")
+    fused_s = float("inf")
+    unfused_values = fused_values = None
+    fused_report = None
+    for _ in range(max(1, repeats)):
+        elapsed, rep = run_once(None)
+        if elapsed < unfused_s:
+            unfused_s = elapsed
+        unfused_values = [r.value for r in rep.results]
+        elapsed, rep = run_once(batching)
+        if elapsed < fused_s:
+            fused_s = elapsed
+        fused_values = [r.value for r in rep.results]
+        fused_report = rep
+    if unfused_values != fused_values:
+        raise RuntimeError(
+            "fused serving diverged from unbatched execution on "
+            f"{design} (per-job results not equal)"
+        )
+    return {
+        "jobs": float(jobs),
+        "unfused_jobs_per_s": jobs / unfused_s,
+        "fused_jobs_per_s": jobs / fused_s,
+        "speedup": unfused_s / fused_s,
+        "batches": float(fused_report.batches),
+        "mean_batch_width": float(fused_report.mean_batch_width),
+        "fusion_ratio": float(fused_report.fusion_ratio),
+        "results_equal": 1.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -573,6 +664,7 @@ ALL_KERNELS: Tuple[str, ...] = (
     "evaluator",
     "evaluator_backward",
     "refine_iter",
+    "serve_throughput",
 )
 
 
@@ -726,6 +818,22 @@ def run_benchmarks(
                 f"tape {r['tape_ms_per_iter']:.1f} ms/iter  ({r['speedup']:.1f}x warm, "
                 f"{r['speedup_cold']:.1f}x cold)"
             )
+        if "serve_throughput" in wanted:
+            with tel.span("bench.serve_throughput", design=name) as sp:
+                r = bench_serve_throughput(name, repeats=repeats)
+                sp.annotate(
+                    unfused_jobs_per_s=r["unfused_jobs_per_s"],
+                    fused_jobs_per_s=r["fused_jobs_per_s"],
+                    speedup=r["speedup"],
+                )
+            report["kernels"]["serve_throughput"][name] = r
+            log(
+                f"[bench] {name} serve_throughput: unfused "
+                f"{r['unfused_jobs_per_s']:.1f} jobs/s, fused "
+                f"{r['fused_jobs_per_s']:.1f} jobs/s  ({r['speedup']:.1f}x; "
+                f"fusion ratio {r['fusion_ratio']:.2f}, "
+                f"mean width {r['mean_batch_width']:.2f})"
+            )
     return report
 
 
@@ -739,6 +847,7 @@ _SPEEDUP_FIELDS = {
     "evaluator": ("speedup",),
     "evaluator_backward": ("speedup",),
     "refine_iter": ("speedup",),
+    "serve_throughput": ("speedup",),
 }
 
 

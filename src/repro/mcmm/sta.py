@@ -24,7 +24,7 @@ kernels (the parity tests compare both).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -140,6 +140,8 @@ class ScenarioSTA:
         self.num_queries = 0
         self.num_full = 0
         self.last_dirty_trees = 0
+        #: Per-probe dirty-tree counts of the last :meth:`probe_batch`.
+        self.last_probe_dirty: List[int] = []
 
         # Wire groups: scenarios sharing (r_derate, c_derate) share one
         # Elmore pass.  First-occurrence order keeps the neutral group
@@ -463,13 +465,28 @@ class ScenarioSTA:
     # ------------------------------------------------------------------
     def _finalize(self, st: _BatchState) -> ScenarioReport:
         """Per-scenario slacks/WNS/TNS from the propagated blocks."""
+        return self._finalize_blocks(st.arr_setup, st.arr_hold)
+
+    def _finalize_blocks(
+        self,
+        arr_setup: Optional[np.ndarray],
+        arr_hold: Optional[np.ndarray],
+        light: bool = False,
+    ) -> ScenarioReport:
+        """Metrics from explicit ``(S_block, n_pins)`` arrival blocks.
+
+        ``light=True`` skips the per-endpoint slack dict and the arrival
+        copy — WNS/TNS/violation counts are unchanged bitwise; the
+        what-if probe path uses it because a probe answer is consumed as
+        a scalar delta, never as a slack map.
+        """
         pert = self.engine.pert()
         metrics: List[Optional[ScenarioMetrics]] = [None] * len(self.scenarios)
         for row, s in enumerate(self._setup_idx):
             sc = self.scenarios[s]
             clock = self._clocks[s]
             launch = clock.launch_time()
-            arrival = st.arr_setup[row]
+            arrival = arr_setup[row]
             req_arr = self._setup_req[row]
             eps = pert.endpoints_arr
             arr_ep = arrival[eps]
@@ -479,21 +496,25 @@ class ScenarioSTA:
             if enabled is not None:
                 eps = eps[enabled]
                 svals = svals[enabled]
-            slack = {int(ep): float(v) for ep, v in zip(eps, svals)}
+            if light:
+                slack: Dict[int, float] = {}
+            else:
+                slack = {int(ep): float(v) for ep, v in zip(eps, svals)}
             wns = float(svals.min()) if svals.size else 0.0
             neg = np.minimum(svals, 0.0)
             tns = float(neg.sum()) if svals.size else 0.0
             vios = int(np.count_nonzero(svals < 0.0))
             metrics[s] = ScenarioMetrics(
                 name=sc.name, check="setup", wns=wns, tns=tns,
-                num_violations=vios, slack=slack, arrival=arrival.copy(),
+                num_violations=vios, slack=slack,
+                arrival=arrival if light else arrival.copy(),
             )
         for row, s in enumerate(self._hold_idx):
             sc = self.scenarios[s]
             clock = self._clocks[s]
             launch = clock.launch_time()
             requirement = DEFAULT_HOLD_TIME + sc.corner.hold_margin + clock.uncertainty
-            arrival = st.arr_hold[row]
+            arrival = arr_hold[row]
             eps = self._hold_ep
             enabled = self._hold_enabled[row]
             if enabled is not None:
@@ -501,16 +522,211 @@ class ScenarioSTA:
             arr_ep = arrival[eps]
             ok = ~np.isnan(arr_ep)
             svals = arr_ep[ok] - launch - requirement
-            slack = {int(ep): float(v) for ep, v in zip(eps[ok], svals)}
+            if light:
+                slack = {}
+            else:
+                slack = {int(ep): float(v) for ep, v in zip(eps[ok], svals)}
             whs = float(svals.min()) if svals.size else 0.0
             neg = np.minimum(svals, 0.0)
             tns = float(neg.sum()) if svals.size else 0.0
             vios = int(np.count_nonzero(svals < 0.0))
             metrics[s] = ScenarioMetrics(
                 name=sc.name, check="hold", wns=whs, tns=tns,
-                num_violations=vios, slack=slack, arrival=arrival.copy(),
+                num_violations=vios, slack=slack,
+                arrival=arrival if light else arrival.copy(),
             )
         return ScenarioReport.merge([m for m in metrics if m is not None])
+
+    # ------------------------------------------------------------------
+    def probe_batch(
+        self, coords_list: Sequence[np.ndarray]
+    ) -> Tuple[ScenarioReport, List[ScenarioReport]]:
+        """Time K candidate coordinate sets in one batched PERT pass.
+
+        The query-fusion layer's kernel (docs/SERVING.md): each entry of
+        ``coords_list`` is a full ``(S, 2)`` Steiner coordinate array —
+        typically the committed coordinates with one point moved — and
+        becomes its own row group of the ``(K * S_block, n_pins)`` check
+        blocks.  Per probe the dirty trees are re-Elmored exactly like
+        :meth:`_incremental` (partial RC + ``elmore_update``), the
+        mutated base-state slices are restored bit-for-bit, and one
+        shared :func:`propagate_from_batched` sweep with the **union**
+        recompute mask re-times every probe row at once.  Rows whose
+        inputs did not change recompute to bitwise-equal values (see
+        ``repro.mcmm.batch``), so every probe report is bitwise-identical
+        to running that move alone — ``probe_batch([c])`` *is* the
+        serial path, which is what makes fused and unfused serving
+        byte-comparable.
+
+        Nothing is committed: the cached state (and the forest) are
+        exactly as before the call.  Returns ``(base_report, probes)``
+        where ``base_report`` re-synchronizes with the forest's current
+        coordinates first.  Probe reports are "light": WNS/TNS and
+        violation counts only (empty slack maps).
+
+        Requires ``force_batched=True`` (the delegate path has no
+        scenario axis to widen) and pre-route probing.
+        """
+        if self._delegate is not None:
+            raise ValueError(
+                "probe_batch requires force_batched=True — the neutral "
+                "delegate has no scenario axis to widen"
+            )
+        base = self.run()
+        st = self._state
+        engine = self.engine
+        pert = engine.pert()
+        flat = st.flat
+        K = len(coords_list)
+        self.last_probe_dirty = []
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("mcmm.probe_batches")
+            tel.hist("mcmm.probe_width", K)
+        if K == 0:
+            return base, []
+
+        # One (K * S_block, n_pins) workspace per check block, seeded
+        # with the committed propagated state tiled K times.
+        blocks = []
+        for idx, early in ((self._setup_idx, False), (self._hold_idx, True)):
+            if not idx:
+                blocks.append(None)
+                continue
+            bwd, bdeg, bnl, derate = self._block_arrays(st, idx)
+            arr0 = st.arr_hold if early else st.arr_setup
+            slew0 = st.slew_hold if early else st.slew_setup
+            blocks.append(
+                {
+                    "idx": idx,
+                    "early": early,
+                    "wd": np.tile(bwd, (K, 1)),
+                    "deg": np.tile(bdeg, (K, 1)),
+                    "nl": np.tile(bnl, (K, 1)),
+                    "derate": np.tile(derate, (K, 1)),
+                    "arr": np.tile(arr0, (K, 1)),
+                    "slew": np.tile(slew0, (K, 1)),
+                }
+            )
+
+        groups_used = sorted(set(self._group_of))
+        recompute = np.zeros(pert.n_pins, dtype=bool)
+        try:
+            for k in range(K):
+                coords = np.asarray(coords_list[k], dtype=np.float64)
+                moved = np.any(coords != st.coords, axis=1)
+                dirty_mask = np.zeros(flat.n_trees, dtype=bool)
+                dirty_mask[flat.steiner_tree[moved]] = True
+                dirty = np.flatnonzero(dirty_mask)
+                self.last_probe_dirty.append(int(dirty.size))
+                if dirty.size == 0:
+                    continue
+                e_rows = flat.edge_rows_of_trees(dirty)
+                node_rows = flat.node_rows_of_trees(dirty)
+                sink_sel = flat.sink_rows_of_trees(dirty)
+                pins = flat.sink_pin[sink_sel]
+                nets = flat.net_of_tree[dirty]
+                coord_rows = dirty_mask[flat.steiner_tree]
+                m = coord_rows[flat.steiner_flat]
+                xy_rows = flat.steiner_rows[m]
+
+                # Save exactly the slices the probe mutates; restoring
+                # them leaves the committed base state bit-identical.
+                saved_xy = st.xy[xy_rows].copy()
+                saved_r = st.base_r[e_rows].copy()
+                saved_c = st.base_c[e_rows].copy()
+                saved_groups = {}
+                try:
+                    st.xy[xy_rows] = coords[flat.steiner_flat[m]]
+                    flatmod.preroute_edge_rc(
+                        flat, engine.technology, st.xy,
+                        edge_rows=e_rows, out_r=st.base_r, out_c=st.base_c,
+                    )
+                    for g in groups_used:
+                        rd, cd = self._wire_keys[g]
+                        el = st.elmores[g]
+                        saved_groups[g] = (
+                            st.group_r[g, e_rows].copy(),
+                            st.group_c[g, e_rows].copy(),
+                            el.node_cap[node_rows].copy(),
+                            el.subtree_cap[node_rows].copy(),
+                            el.delay[node_rows].copy(),
+                            el.total_cap[dirty].copy(),
+                            el.sink_delay[sink_sel].copy(),
+                            el.sink_slew_deg[sink_sel].copy(),
+                        )
+                        st.group_r[g, e_rows] = st.base_r[e_rows] * rd
+                        st.group_c[g, e_rows] = st.base_c[e_rows] * cd
+                        flatmod.elmore_update(
+                            flat, st.group_r[g], st.group_c[g], el, trees=dirty
+                        )
+                    for block in blocks:
+                        if block is None:
+                            continue
+                        S = len(block["idx"])
+                        for row_s, s in enumerate(block["idx"]):
+                            g = self._group_of[s]
+                            el = st.elmores[g]
+                            row = k * S + row_s
+                            new_wd = el.sink_delay[sink_sel]
+                            new_deg = el.sink_slew_deg[sink_sel]
+                            w_ch = (st.wire_delay_G[g, pins] != new_wd) | (
+                                st.wire_deg_G[g, pins] != new_deg
+                            )
+                            block["wd"][row, pins] = new_wd
+                            block["deg"][row, pins] = new_deg
+                            recompute[pins[w_ch]] = True
+                            new_load = el.total_cap[dirty]
+                            l_ch = st.net_load_G[g, nets] != new_load
+                            block["nl"][row, nets] = new_load
+                            recompute[pert.net_driver[nets[l_ch]]] = True
+                finally:
+                    for g, sv in saved_groups.items():
+                        el = st.elmores[g]
+                        st.group_r[g, e_rows] = sv[0]
+                        st.group_c[g, e_rows] = sv[1]
+                        el.node_cap[node_rows] = sv[2]
+                        el.subtree_cap[node_rows] = sv[3]
+                        el.delay[node_rows] = sv[4]
+                        el.total_cap[dirty] = sv[5]
+                        el.sink_delay[sink_sel] = sv[6]
+                        el.sink_slew_deg[sink_sel] = sv[7]
+                    st.base_r[e_rows] = saved_r
+                    st.base_c[e_rows] = saved_c
+                    st.xy[xy_rows] = saved_xy
+
+            if recompute.any():
+                for block in blocks:
+                    if block is None:
+                        continue
+                    propagate_from_batched(
+                        pert, block["arr"], block["slew"], block["wd"],
+                        block["deg"], block["nl"], st.net_has_tree,
+                        block["derate"], recompute, early=block["early"],
+                    )
+        except Exception:
+            # Same safety contract as run(): never keep possibly
+            # half-restored state behind an exception.
+            self._state = None
+            raise
+
+        setup_block, hold_block = blocks
+        S_su = len(self._setup_idx)
+        S_h = len(self._hold_idx)
+        probes: List[ScenarioReport] = []
+        for k in range(K):
+            a_su = (
+                setup_block["arr"][k * S_su:(k + 1) * S_su]
+                if setup_block is not None
+                else None
+            )
+            a_h = (
+                hold_block["arr"][k * S_h:(k + 1) * S_h]
+                if hold_block is not None
+                else None
+            )
+            probes.append(self._finalize_blocks(a_su, a_h, light=True))
+        return base, probes
 
 
 __all__ = ["ScenarioMetrics", "ScenarioReport", "ScenarioSTA"]

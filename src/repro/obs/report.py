@@ -183,6 +183,11 @@ def summarize_serving(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, An
         kind = ev.get("kind")
         if kind in ("chaos_kill", "chaos_delay", "chaos_corrupt"):
             chaos[kind] = chaos.get(kind, 0) + 1
+    # Query fusion (serve/batcher.py): fused dispatches and the member
+    # jobs they coalesced.
+    batch_events = [e for e in events if e.get("kind") == "batch_dispatch"]
+    fused_jobs = sum(int(e.get("width", 0)) for e in batch_events)
+    done_total = len(served)
     return {
         "kinds": kinds,
         "quarantined": len(quarantined),
@@ -196,6 +201,17 @@ def summarize_serving(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, An
             1 for e in events if e.get("kind") == "serve_checkpoint_reset"
         ),
         "chaos": chaos,
+        "batches": len(batch_events),
+        "fused_jobs": fused_jobs,
+        "mean_batch_width": fused_jobs / len(batch_events) if batch_events else 0.0,
+        "fusion_ratio": fused_jobs / done_total if done_total else 0.0,
+        "shard_kills": sum(1 for e in events if e.get("kind") == "shard_killed"),
+        "shard_restarts": sum(
+            1 for e in events if e.get("kind") == "shard_restarted"
+        ),
+        "redispatched": sum(
+            1 for e in events if e.get("kind") == "job_redispatched"
+        ),
     }
 
 
@@ -376,6 +392,19 @@ def render_report(
             f"  quarantined {serving['quarantined']}, shed {serving['shed']}, "
             f"degraded (stale answers) {serving['degraded']}"
         )
+        if serving["batches"]:
+            lines.append(
+                f"  batching: {serving['batches']} fused dispatches, "
+                f"{serving['fused_jobs']} member jobs, "
+                f"mean width {serving['mean_batch_width']:.2f}, "
+                f"fusion ratio {serving['fusion_ratio']:.2f}"
+            )
+        if serving["shard_kills"] or serving["redispatched"]:
+            lines.append(
+                f"  sharding: {serving['shard_kills']} shard kills, "
+                f"{serving['shard_restarts']} restarts, "
+                f"{serving['redispatched']} jobs redispatched"
+            )
         if serving["worker_deaths"] or serving["chaos"]:
             chaos = serving["chaos"]
             lines.append(

@@ -13,6 +13,10 @@ design flow (docs/SERVING.md):
   ``retry_after`` hints;
 * :mod:`repro.serve.service` — the supervised asyncio worker fleet:
   retries, quarantine, deadlines, checkpoint durability;
+* :mod:`repro.serve.batcher` — query fusion: concurrent whatif/signoff
+  jobs per design coalesce into one scenario-batched dispatch;
+* :mod:`repro.serve.shard` — warm-shard design sharding behind a
+  rendezvous-hashed front end with shard-death redispatch;
 * :mod:`repro.serve.executors` — inline vs process-backed execution;
 * :mod:`repro.serve.chaos` — deterministic worker kills, queue delays
   and checkpoint corruption for the chaos tests;
@@ -25,6 +29,7 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionDecision,
 )
+from repro.serve.batcher import BatchConfig, QueryBatcher
 from repro.serve.chaos import (
     ChaosMonkey,
     CorruptCheckpoint,
@@ -47,12 +52,14 @@ from repro.serve.service import (
     SignoffService,
     virtual_asleep,
 )
+from repro.serve.shard import ShardedService, rendezvous_shard
 from repro.serve.state import DesignWorkspace, WarmStateCache
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
+    "BatchConfig",
     "ChaosMonkey",
     "CorruptCheckpoint",
     "DEFAULT_PRIORITY",
@@ -67,12 +74,15 @@ __all__ = [
     "KillWorker",
     "LoadReport",
     "ProcessExecutor",
+    "QueryBatcher",
     "ServiceStats",
+    "ShardedService",
     "SignoffService",
     "TrafficConfig",
     "WarmStateCache",
     "WorkerKilled",
     "make_jobs",
     "run_load",
+    "rendezvous_shard",
     "virtual_asleep",
 ]

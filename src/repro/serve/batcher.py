@@ -1,0 +1,163 @@
+"""Query fusion: coalesce concurrent interactive jobs per design.
+
+The paper's premise is *concurrent* sign-off — many timing queries
+against the same design should share one STA evaluation, not N
+independent ones.  :class:`QueryBatcher` sits between admission and the
+dispatch queue: an admitted ``whatif``/``signoff`` job parks briefly in
+a per-``(kind, design)`` bucket instead of enqueueing immediately.  The
+bucket flushes when it reaches ``max_batch`` members or when its linger
+window expires (on the service's injectable async sleep, so chaos tests
+fuse deterministically on virtual time).  A flush of one member
+enqueues the member itself — the unbatched path, untouched bitwise; a
+flush of W >= 2 members enqueues one *fused* carrier
+:class:`~repro.serve.jobs.Job` whose handler answers all members in a
+single scenario-batched dispatch:
+
+* fused ``whatif`` — the W moves become W row groups of one
+  ``ScenarioSTA.probe_batch`` PERT pass (docs/MCMM.md); the union
+  recompute mask keeps every row bitwise-equal to its serial run;
+* fused ``signoff`` — distinct ``(corners, mode)`` keys run once and
+  identical queries share the answer (a repeated query against
+  unchanged warm state is bitwise-idempotent).
+
+Invariants the service relies on (and the chaos tests assert):
+
+* members keep their own tickets and ids — the carrier is internal,
+  so accounting (``accepted``/``done``/``lost``) stays per member;
+* pending-by-kind counts are member-weighted: +1 when a member enters
+  a bucket, -``width()`` when a worker dequeues the carrier — admission
+  therefore sees parked members as pending backlog;
+* a worker death mid-batch requeues the *carrier* with members intact
+  (the PR 6 supervision path unchanged), so every fused member still
+  terminates ``done`` or ``quarantined`` — never lost;
+* ``flush_all`` runs at close so parked members cannot strand.
+
+Because linger happens *before* dispatch, an empty-ish system pays at
+most ``linger_s`` of added latency per interactive query — and with
+``linger_s == 0`` fusion still happens whenever submitters burst jobs
+between event-loop ticks (one cooperative yield is enough to flush).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.obs import get_telemetry
+from repro.serve.jobs import KIND_SIGNOFF, KIND_WHATIF, Job
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Fusion knobs (docs/SERVING.md, "Scaling")."""
+
+    #: Flush a bucket at this many members (also the probe-batch width
+    #: cap handed to the MCMM kernel).
+    max_batch: int = 8
+    #: How long the first job of a bucket waits for company, in
+    #: (injectable) seconds.  0 still fuses same-tick bursts.
+    linger_s: float = 0.0
+    #: Job kinds eligible for fusion; other kinds bypass the batcher.
+    kinds: Tuple[str, ...] = (KIND_WHATIF, KIND_SIGNOFF)
+
+
+class QueryBatcher:
+    """Per-(kind, design) fusion buckets in front of the dispatch queue.
+
+    The service owns one instance and calls :meth:`add` for every
+    admitted batchable job; the batcher calls back into the service's
+    ``_enqueue_flushed`` with either the lone member or a fused carrier.
+    """
+
+    def __init__(self, service, config: BatchConfig) -> None:
+        self._service = service
+        self.config = config
+        self._buckets: Dict[Tuple[str, str], List[Job]] = {}
+        self._timers: Dict[Tuple[str, str], asyncio.Task] = {}
+        #: Terminal fusion accounting (mirrored into ServiceStats).
+        self.batches = 0
+        self.fused_jobs = 0
+
+    # ------------------------------------------------------------------
+    def wants(self, job: Job) -> bool:
+        return job.kind in self.config.kinds and not job.fused
+
+    def pending(self) -> int:
+        """Members currently parked in buckets (admission backlog)."""
+        return sum(len(b) for b in self._buckets.values())
+
+    # ------------------------------------------------------------------
+    def add(self, job: Job) -> None:
+        """Park one admitted job; flush on width, arm linger otherwise."""
+        key = (job.kind, job.design)
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append(job)
+        if len(bucket) >= max(1, self.config.max_batch):
+            self.flush(key)
+            return
+        if key not in self._timers:
+            self._timers[key] = self._service._loop.create_task(
+                self._linger(key)
+            )
+
+    async def _linger(self, key: Tuple[str, str]) -> None:
+        try:
+            await self._service._asleep(self.config.linger_s)
+        except asyncio.CancelledError:
+            return
+        self._timers.pop(key, None)
+        self.flush(key)
+
+    # ------------------------------------------------------------------
+    def flush(self, key: Tuple[str, str]) -> None:
+        """Dispatch one bucket: lone member as-is, W >= 2 as a carrier."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        members = self._buckets.pop(key, None)
+        if not members:
+            return
+        if len(members) == 1:
+            self._service._enqueue_flushed(members[0])
+            return
+        kind, design = key
+        carrier = Job(
+            kind=kind,
+            design=design,
+            priority=min(m.effective_priority() for m in members),
+            members=members,
+        )
+        carrier.job_id = "+".join(m.job_id for m in members)
+        carrier.submitted_t = min(m.submitted_t for m in members)
+        self.batches += 1
+        self.fused_jobs += len(members)
+        stats = self._service.stats
+        stats.batches += 1
+        stats.fused_jobs += len(members)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("serve.batches")
+            tel.hist("serve.batch_width", len(members))
+            tel.event(
+                "batch_dispatch",
+                job=carrier.job_id,
+                job_kind=kind,
+                design=design,
+                width=len(members),
+                jobs=[m.job_id for m in members],
+            )
+        self._service._enqueue_flushed(carrier)
+
+    def flush_all(self) -> None:
+        """Flush every bucket (drain/close path — nothing may strand)."""
+        for key in list(self._buckets):
+            self.flush(key)
+
+    def cancel_timers(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+
+__all__ = ["BatchConfig", "QueryBatcher"]

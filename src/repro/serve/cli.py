@@ -26,8 +26,10 @@ from repro.serve.chaos import (
     DelayDispatch,
     KillWorker,
 )
+from repro.serve.batcher import BatchConfig
 from repro.serve.loadgen import TrafficConfig, run_load
 from repro.serve.service import SignoffService
+from repro.serve.shard import ShardedService
 from repro.serve.state import WarmStateCache
 
 
@@ -75,7 +77,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos",
         action="store_true",
         help="inject deterministic faults: kill a worker mid-refine, "
-        "delay dispatches, corrupt one checkpoint",
+        "delay dispatches, corrupt one checkpoint (and with --shards > 1, "
+        "kill shard 0 mid-load)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run N warm shards behind a rendezvous-routed front end "
+        "(1 = single service; docs/SERVING.md, Scaling)",
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="enable query fusion: concurrent whatif/signoff jobs per "
+        "design coalesce into one scenario-batched dispatch",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="fusion flush width (members per fused dispatch)",
+    )
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="seconds the first job of a fusion bucket waits for company "
+        "(0 still fuses same-tick bursts)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=int,
+        default=0,
+        metavar="N",
+        help="burst traffic mode: submit jobs in back-to-back groups of "
+        "N (many concurrent queries, few designs — the fusion workload)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -120,16 +157,35 @@ def default_chaos() -> ChaosMonkey:
 
 
 async def _serve(args, chaos, checkpoint_dir: Path, objectives):
-    warm = WarmStateCache(scale=args.scale)
-    service = SignoffService(
-        warm=warm,
-        workers=args.workers,
-        admission=AdmissionConfig(max_pending=args.max_pending),
-        chaos=chaos,
-        checkpoint_dir=checkpoint_dir,
-        process_jobs=args.process_jobs,
-        slo=objectives or None,
+    batching = (
+        BatchConfig(max_batch=args.batch_max, linger_s=args.linger)
+        if args.batch
+        else None
     )
+    if args.shards > 1:
+        service = ShardedService(
+            shards=args.shards,
+            scale=args.scale,
+            workers=args.workers,
+            admission=AdmissionConfig(max_pending=args.max_pending),
+            chaos=chaos,
+            checkpoint_dir=checkpoint_dir,
+            process_jobs=args.process_jobs,
+            slo=objectives or None,
+            batching=batching,
+        )
+    else:
+        warm = WarmStateCache(scale=args.scale)
+        service = SignoffService(
+            warm=warm,
+            workers=args.workers,
+            admission=AdmissionConfig(max_pending=args.max_pending),
+            chaos=chaos,
+            checkpoint_dir=checkpoint_dir,
+            process_jobs=args.process_jobs,
+            slo=objectives or None,
+            batching=batching,
+        )
     traffic = TrafficConfig(
         jobs=args.jobs,
         designs=tuple(
@@ -137,9 +193,19 @@ async def _serve(args, chaos, checkpoint_dir: Path, objectives):
         ),
         seed=args.seed,
         refine_iterations=args.refine_iterations,
+        burst_size=max(1, args.burst),
     )
+    chaos_hooks = None
+    if chaos is not None and args.shards > 1:
+        # The shard-level fault: halfway through the load, kill the
+        # home shard of the first design — the slot guaranteed to hold
+        # in-flight work — asserting redispatch and zero loss.
+        victim = service.shard_for(traffic.designs[0])
+        chaos_hooks = {
+            max(1, args.jobs // 2): lambda: service.kill_shard(victim)
+        }
     async with service:
-        report = await run_load(service, traffic)
+        report = await run_load(service, traffic, chaos_hooks=chaos_hooks)
     return service, report
 
 
@@ -175,6 +241,18 @@ def main(argv=None) -> int:
         "by kind: "
         + "  ".join(f"{k}={v}" for k, v in sorted(summary["by_kind"].items()))
     )
+    if args.batch:
+        _say(
+            f"fusion: batches {summary['batches']}  "
+            f"mean width {summary['mean_batch_width']:.2f}  "
+            f"ratio {summary['fusion_ratio']:.2f}"
+        )
+    if args.shards > 1:
+        _say(
+            f"shards: {args.shards}  killed {service.shards_killed}  "
+            f"restarted {service.shards_restarted}  "
+            f"redispatched {service.redispatched}"
+        )
     if chaos is not None:
         _say(
             f"chaos: kills {chaos.kills_fired}  delays {chaos.delays_fired}  "

@@ -43,61 +43,88 @@ def _coords_digest(coords: np.ndarray) -> str:
 # ----------------------------------------------------------------------
 # whatif — move one Steiner point, report the slack delta, revert
 # ----------------------------------------------------------------------
-def _whatif(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
+def _whatif(cache: WarmStateCache, job, ctx):
+    """Serial *and* fused what-if share one probe path.
+
+    A lone job is a width-1 probe batch; a fused carrier's members
+    become the K row groups of one scenario-batched PERT pass
+    (:meth:`~repro.mcmm.sta.ScenarioSTA.probe_batch`).  Because the
+    union recompute mask re-times unchanged rows to bitwise-identical
+    values, each member's answer is bitwise-equal to the answer it
+    would have gotten unfused — the parity the hypothesis tests pin.
+    """
     ws = cache.workspace(job.design)
     ctx.heartbeat()
-    inc = ws.incremental()
+    sta = ws.probe_sta()
     forest = ws.forest
     coords = forest.get_steiner_coords()
-    base = inc.run()
+    members = job.members if job.fused else [job]
+    specs = []
+    for m in members:
+        if coords.shape[0] == 0:
+            specs.append(None)
+            continue
+        idx = int(m.params.get("point", 0)) % coords.shape[0]
+        dx = float(m.params.get("dx", 0.0))
+        dy = float(m.params.get("dy", 0.0))
+        moved = coords.copy()
+        moved[idx, 0] += dx
+        moved[idx, 1] += dy
+        specs.append((idx, dx, dy, forest.clamp_coords(moved)))
+    live = [s for s in specs if s is not None]
+    if live:
+        base, probes = sta.probe_batch([s[3] for s in live])
+        base_wns = float(base.merged_wns)
+        base_tns = float(base.merged_tns)
+    else:
+        base = sta.run()
+        probes = []
+        base_wns = float(base.merged_wns)
+        base_tns = float(base.merged_tns)
     baseline = {
         "design": job.design,
-        "wns": float(base.wns),
-        "tns": float(base.tns),
+        "wns": base_wns,
+        "tns": base_tns,
         "stale": False,
     }
     ws.record_signoff(baseline)
-    if coords.shape[0] == 0:
-        return dict(baseline, point=None, delta_wns=0.0, delta_tns=0.0)
-    idx = int(job.params.get("point", 0)) % coords.shape[0]
-    dx = float(job.params.get("dx", 0.0))
-    dy = float(job.params.get("dy", 0.0))
-    moved = coords.copy()
-    moved[idx, 0] += dx
-    moved[idx, 1] += dy
-    forest.set_steiner_coords(forest.clamp_coords(moved))
-    try:
-        probe = inc.run()
-    finally:
-        # What-if never commits: restore the warm state's coordinates.
-        forest.set_steiner_coords(coords)
-    return {
-        "design": job.design,
-        "point": idx,
-        "dx": dx,
-        "dy": dy,
-        "wns": float(probe.wns),
-        "tns": float(probe.tns),
-        "delta_wns": float(probe.wns - base.wns),
-        "delta_tns": float(probe.tns - base.tns),
-        "dirty_trees": int(inc.last_dirty_trees),
-        "stale": False,
-    }
+    values = []
+    probe_iter = iter(zip(probes, sta.last_probe_dirty))
+    for spec in specs:
+        if spec is None:
+            values.append(dict(baseline, point=None, delta_wns=0.0, delta_tns=0.0))
+            continue
+        idx, dx, dy, _ = spec
+        rep, dirty = next(probe_iter)
+        values.append(
+            {
+                "design": job.design,
+                "point": idx,
+                "dx": dx,
+                "dy": dy,
+                "wns": float(rep.merged_wns),
+                "tns": float(rep.merged_tns),
+                "delta_wns": float(rep.merged_wns - base_wns),
+                "delta_tns": float(rep.merged_tns - base_tns),
+                "dirty_trees": int(dirty),
+                "stale": False,
+            }
+        )
+    return values if job.fused else values[0]
 
 
 # ----------------------------------------------------------------------
 # signoff — full WNS/TNS report, optionally under MCMM corners
 # ----------------------------------------------------------------------
-def _signoff(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
-    ws = cache.workspace(job.design)
-    ctx.heartbeat()
-    corners = tuple(job.params.get("corners") or ())
-    mode = str(job.params.get("mode", "func"))
+def _signoff_one(cache: WarmStateCache, design: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    ws = cache.workspace(design)
+    corners = tuple(params.get("corners") or ())
+    mode = str(params.get("mode", "func"))
     if corners and (corners != ("typ",) or mode != "func"):
         sta = ws.scenario_sta(corners, mode=mode)
         rep = sta.run()
         value = {
-            "design": job.design,
+            "design": design,
             "wns": float(rep.merged_wns),
             "tns": float(rep.merged_tns),
             "corners": list(corners),
@@ -108,7 +135,7 @@ def _signoff(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
     else:
         rep = ws.incremental().run()
         value = {
-            "design": job.design,
+            "design": design,
             "wns": float(rep.wns),
             "tns": float(rep.tns),
             "stale": False,
@@ -116,6 +143,34 @@ def _signoff(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
     ws.signoff_queries += 1
     ws.record_signoff(value)
     return value
+
+
+def _signoff(cache: WarmStateCache, job, ctx):
+    """Sign-off report; a fused carrier dedupes identical corner sets.
+
+    Members asking for the same ``(corners, mode)`` against the same
+    warm state share one STA run — a repeated query over unchanged
+    state is bitwise-idempotent, so every member still receives the
+    exact answer it would have gotten alone.
+    """
+    ctx.heartbeat()
+    if not job.fused:
+        return _signoff_one(cache, job.design, job.params)
+    memo: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    values = []
+    for m in job.members:
+        key = (
+            tuple(m.params.get("corners") or ()),
+            str(m.params.get("mode", "func")),
+        )
+        hit = memo.get(key)
+        if hit is None:
+            hit = memo[key] = _signoff_one(cache, job.design, m.params)
+        else:
+            # The shared answer still counts as one served query.
+            cache.workspace(job.design).signoff_queries += 1
+        values.append(dict(hit))
+    return values
 
 
 # ----------------------------------------------------------------------

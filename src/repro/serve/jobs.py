@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 #: Job kinds, interactive first.
 KIND_WHATIF = "whatif"
@@ -63,6 +63,12 @@ class Job:
     attempts: int = 0  # execution attempts started so far
     submitted_t: float = 0.0
     error: Optional[str] = None  # last failure (quarantine reason)
+    #: Query fusion (docs/SERVING.md): a *fused* job carries the member
+    #: jobs it coalesced — all the same kind and design.  Members own
+    #: the tickets; the fused carrier is internal to the service and
+    #: its handler returns one value per member, scattered back in
+    #: order.  ``None`` for ordinary (unfused) jobs.
+    members: Optional[List["Job"]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -72,6 +78,14 @@ class Job:
         if self.priority is not None:
             return int(self.priority)
         return DEFAULT_PRIORITY[self.kind]
+
+    @property
+    def fused(self) -> bool:
+        return self.members is not None
+
+    def width(self) -> int:
+        """Pending-queue weight: member count for fused carriers, else 1."""
+        return len(self.members) if self.members is not None else 1
 
 
 @dataclass

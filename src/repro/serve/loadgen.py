@@ -31,6 +31,11 @@ class TrafficConfig:
     #: every burst_every-th job arrives back-to-back with the next one
     #: (no inter-arrival yield), exercising the bounded queue
     burst_every: int = 4
+    #: burst mode (``--burst``): submit jobs in back-to-back groups of
+    #: this size with one cooperative yield *between* groups — many
+    #: concurrent queries against few designs, the traffic shape query
+    #: fusion is built for.  1 falls back to ``burst_every`` pacing.
+    burst_size: int = 1
 
 
 @dataclass
@@ -47,6 +52,12 @@ class LoadReport:
     lost: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     results: List[Any] = field(default_factory=list)
+    #: Query-fusion accounting mirrored from the service stats: fused
+    #: dispatches, their mean member width, and the fraction of done
+    #: jobs that were answered by a fused dispatch.
+    batches: int = 0
+    mean_batch_width: float = 0.0
+    fusion_ratio: float = 0.0
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -59,6 +70,9 @@ class LoadReport:
             "retried_jobs": self.retried_jobs,
             "lost": self.lost,
             "by_kind": dict(self.by_kind),
+            "batches": self.batches,
+            "mean_batch_width": self.mean_batch_width,
+            "fusion_ratio": self.fusion_ratio,
         }
 
 
@@ -93,12 +107,21 @@ def make_jobs(config: TrafficConfig) -> List[Dict[str, Any]]:
     return jobs
 
 
-async def run_load(service, config: Optional[TrafficConfig] = None) -> LoadReport:
+async def run_load(
+    service,
+    config: Optional[TrafficConfig] = None,
+    chaos_hooks: Optional[Dict[int, Any]] = None,
+) -> LoadReport:
     """Drive a *started* service with the config's traffic; await drain.
 
     Shed jobs are counted, not resubmitted — backpressure is the
     feature under test, and the zero-lost invariant covers accepted
     jobs only (a shed job was answered with ``retry_after``, not lost).
+
+    ``chaos_hooks`` maps a submit index to an async callable awaited
+    right after that job is submitted — the deterministic injection
+    point for mid-load faults the service can't self-inflict, e.g.
+    ``{jobs // 2: lambda: sharded.kill_shard(0)}``.
     """
     import asyncio
 
@@ -110,6 +133,14 @@ async def run_load(service, config: Optional[TrafficConfig] = None) -> LoadRepor
         tickets.append(ticket)
         report.submitted += 1
         report.by_kind[spec["kind"]] = report.by_kind.get(spec["kind"], 0) + 1
+        if chaos_hooks and i in chaos_hooks:
+            await chaos_hooks[i]()
+        if config.burst_size > 1:
+            # Burst mode: groups of burst_size land in one event-loop
+            # tick (so the batcher can fuse them); yield between groups.
+            if (i + 1) % config.burst_size == 0:
+                await asyncio.sleep(0)
+            continue
         burst = config.burst_every > 0 and (i + 1) % config.burst_every == 0
         if not burst:
             # Let workers interleave with arrivals (cooperative yield,
@@ -134,6 +165,11 @@ async def run_load(service, config: Optional[TrafficConfig] = None) -> LoadRepor
         elif result.status == "rejected":
             report.shed += 1
     report.lost = report.submitted - report.done - report.quarantined - report.shed
+    stats = getattr(service, "stats", None)
+    if stats is not None and getattr(stats, "batches", 0):
+        report.batches = stats.batches
+        report.mean_batch_width = stats.mean_batch_width()
+        report.fusion_ratio = stats.fusion_ratio()
     return report
 
 

@@ -51,6 +51,7 @@ from repro.obs.slo import SLOEngine, SLObjective
 from repro.runtime.budget import Budget, ManualClock
 from repro.runtime.retry import backoff_delay
 from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.batcher import BatchConfig, QueryBatcher
 from repro.serve.chaos import ChaosMonkey, WorkerKilled
 from repro.serve.executors import InlineExecutor, ProcessExecutor
 from repro.serve.jobs import (
@@ -111,10 +112,23 @@ class ServiceStats:
     retries: int = 0
     worker_deaths: int = 0
     worker_restarts: int = 0
+    #: Query fusion (serve/batcher.py): fused dispatches and the member
+    #: jobs they carried.  Accounting above stays per *member* — a
+    #: fused carrier is internal and never counted as a job itself.
+    batches: int = 0
+    fused_jobs: int = 0
 
     def lost(self) -> int:
         """Accepted jobs that reached no terminal state (must be 0)."""
         return self.accepted - self.done - self.quarantined
+
+    def mean_batch_width(self) -> float:
+        """Mean members per fused dispatch (0 when nothing fused)."""
+        return self.fused_jobs / self.batches if self.batches else 0.0
+
+    def fusion_ratio(self) -> float:
+        """Fraction of completed jobs answered by a fused dispatch."""
+        return self.fused_jobs / self.done if self.done else 0.0
 
 
 class SignoffService:
@@ -140,6 +154,8 @@ class SignoffService:
         process_kinds: tuple = (KIND_REFINE, KIND_TRAIN),
         degrade_signoff: bool = True,
         slo: Optional[Union[SLOEngine, List[SLObjective], tuple]] = None,
+        batching: Optional[Union[BatchConfig, bool]] = None,
+        id_prefix: str = "job",
     ) -> None:
         if handlers is None:
             from repro.serve.handlers import default_handlers
@@ -180,6 +196,15 @@ class SignoffService:
         #: CLI reports the state *at shutdown*, not a later re-read.
         self.slo_final: Optional[List[Dict[str, Any]]] = None
 
+        # Query fusion (serve/batcher.py): ``True`` means defaults;
+        # ``None``/``False`` disables — the unbatched path is untouched.
+        if batching is True:
+            batching = BatchConfig()
+        self._batcher: Optional[QueryBatcher] = (
+            QueryBatcher(self, batching) if batching else None
+        )
+        self._id_prefix = str(id_prefix)
+
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._pending_by_kind: Dict[str, int] = {}
         self._worker_tasks: Dict[int, asyncio.Task] = {}
@@ -216,6 +241,12 @@ class SignoffService:
         if not self._started:
             return
         self._closing = True
+        if self._batcher is not None:
+            # Nothing may strand in a bucket: flush whatever is parked
+            # (normal shutdown drained already; this is the safety net)
+            # and drop the linger timers.
+            self._batcher.flush_all()
+            self._batcher.cancel_timers()
         tasks = list(self._worker_tasks.values())
         for task in tasks:
             task.cancel()
@@ -275,7 +306,7 @@ class SignoffService:
                 kind=kind_or_job, design=design, params=dict(params or {}), **job_fields
             )
         self._id_seq += 1
-        job.job_id = f"job-{self._id_seq:04d}"
+        job.job_id = f"{self._id_prefix}-{self._id_seq:04d}"
         job.submitted_t = self._clock()
         future: asyncio.Future = self._loop.create_future()
         ticket = JobTicket(job, future)
@@ -290,7 +321,7 @@ class SignoffService:
 
         decision = self._admission.admit(
             job,
-            pending=self._queue.qsize(),
+            pending=self._pending_backlog(),
             pending_by_kind=self._pending_by_kind,
             workers=self.workers,
         )
@@ -311,7 +342,13 @@ class SignoffService:
                 design=job.design,
                 priority=job.effective_priority(),
             )
-        self._enqueue(job)
+        if self._batcher is not None and self._batcher.wants(job):
+            # Park in a fusion bucket: the member is already counted in
+            # the pending backlog; the flush enqueues without recounting.
+            self._note_pending(job.kind, 1)
+            self._batcher.add(job)
+        else:
+            self._enqueue(job)
         return ticket
 
     def _try_stale_answer(self, job: Job, ticket: JobTicket, decision) -> bool:
@@ -379,9 +416,24 @@ class SignoffService:
                 retry_after=decision.retry_after,
             )
 
+    def _note_pending(self, kind: str, delta: int) -> None:
+        self._pending_by_kind[kind] = max(
+            0, self._pending_by_kind.get(kind, 0) + delta
+        )
+
+    def _pending_backlog(self) -> int:
+        """Member-weighted pending jobs: queued + parked in batcher
+        buckets (each fused carrier counts as its width)."""
+        return sum(self._pending_by_kind.values())
+
     def _enqueue(self, job: Job) -> None:
+        self._note_pending(job.kind, job.width())
+        self._enqueue_flushed(job)
+
+    def _enqueue_flushed(self, job: Job) -> None:
+        """Queue a job whose members are already in the pending counts
+        (the batcher flush path; ``_enqueue`` is count-then-flush)."""
         self._put_seq += 1
-        self._pending_by_kind[job.kind] = self._pending_by_kind.get(job.kind, 0) + 1
         self._queue.put_nowait((job.effective_priority(), self._put_seq, job))
         tel = get_telemetry()
         if tel.enabled:
@@ -403,9 +455,7 @@ class SignoffService:
     async def _worker(self, wid: int) -> None:
         while True:
             _, _, job = await self._queue.get()
-            self._pending_by_kind[job.kind] = max(
-                0, self._pending_by_kind.get(job.kind, 0) - 1
-            )
+            self._note_pending(job.kind, -job.width())
             self._inflight[wid] = job
             try:
                 await self._run_job(wid, job)
@@ -460,7 +510,9 @@ class SignoffService:
         return self.checkpoint_dir / f"{job.job_id}.npz"
 
     def _executor_for(self, job: Job):
-        if self._process is not None and job.kind in self._process_kinds:
+        # Fused carriers always run inline: their value is the shared
+        # warm-state probe batch, which a process payload cannot carry.
+        if self._process is not None and job.kind in self._process_kinds and not job.fused:
             return self._process
         return self._inline
 
@@ -504,11 +556,33 @@ class SignoffService:
             return
         self._admission.observe_latency(self._clock() - t0)
         timed_out = budget is not None and budget.expired()
+        if job.fused:
+            self._finish_fused(job, value, timed_out=timed_out)
+            return
         stale = False
         if isinstance(value, dict):
             stale = bool(value.get("stale", False))
             timed_out = timed_out or bool(value.get("timed_out", False))
         self._finish(job, value, stale=stale, timed_out=timed_out)
+
+    def _finish_fused(self, carrier: Job, values: Any, timed_out: bool) -> None:
+        """Scatter a fused dispatch's per-member values to the tickets."""
+        members = carrier.members or []
+        if not isinstance(values, (list, tuple)) or len(values) != len(members):
+            self._quarantine(
+                carrier,
+                f"fused {carrier.kind} handler returned "
+                f"{type(values).__name__} for {len(members)} members",
+            )
+            return
+        carrier.status = DONE
+        for member, value in zip(members, values):
+            member.attempts = carrier.attempts
+            stale = isinstance(value, dict) and bool(value.get("stale", False))
+            m_timed_out = timed_out or (
+                isinstance(value, dict) and bool(value.get("timed_out", False))
+            )
+            self._finish(member, value, stale=stale, timed_out=m_timed_out)
 
     async def _retry_or_quarantine(self, job: Job, error: str) -> None:
         max_attempts = (
@@ -542,6 +616,14 @@ class SignoffService:
         self._enqueue(job)
 
     def _quarantine(self, job: Job, error: str) -> None:
+        if job.fused:
+            # A poisoned fused dispatch poisons every member — each
+            # ticket still resolves, so nothing hangs or is lost.
+            job.status = QUARANTINED
+            for member in job.members or []:
+                member.attempts = job.attempts
+                self._quarantine(member, error)
+            return
         job.status = QUARANTINED
         self.stats.quarantined += 1
         result = JobResult(

@@ -1,0 +1,433 @@
+"""Warm-shard design sharding: a multi-service front end.
+
+One :class:`~repro.serve.service.SignoffService` keeps every design's
+timing state warm in a single process — which caps throughput at one
+event loop and makes every design share one failure domain.
+:class:`ShardedService` runs K independent ``SignoffService`` shards,
+each with its **own** :class:`~repro.serve.state.WarmStateCache`, and
+routes every job for a design to that design's *home shard* chosen by
+rendezvous (highest-random-weight) hashing:
+
+* **Warm affinity** — all queries for a design land on the one shard
+  whose cache holds it, so nothing is warmed twice;
+* **Minimal disruption** — HRW means the design→shard map is a pure
+  function of the design name and the *slot labels*; killing and
+  respawning a shard changes no assignments, and resizing K remaps
+  only ~1/K of the designs (the classic rendezvous property);
+* **Failure isolation** — a dead shard takes down only its own
+  designs' in-flight jobs, and those are *redispatched*, not lost.
+
+The front end owns the submitter-facing tickets and terminal
+accounting.  A shard kill (:meth:`ShardedService.kill_shard` — the
+chaos harness' shard-level fault) closes the victim, respawns a fresh
+shard into the same slot (cold cache — the re-warm on first query is
+real), and resubmits every unresolved job that was routed there.  Each
+accepted front ticket therefore still terminates ``done`` or
+``quarantined`` — the PR 6 zero-lost invariant, now shard-level.
+
+SLO burn-rate alerting stays a front-end concern: shards run with
+``slo=None`` and the single front :class:`~repro.obs.slo.SLOEngine`
+observes outcomes as front tickets resolve, so availability math spans
+shard deaths instead of resetting with them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.obs import get_telemetry
+from repro.obs.slo import SLOEngine, SLObjective
+from repro.serve.jobs import DONE, QUARANTINED, REJECTED, Job, JobResult, JobTicket
+from repro.serve.service import ServiceStats, SignoffService
+
+
+def rendezvous_shard(design: str, shard_ids: Sequence[str]) -> str:
+    """Highest-random-weight (rendezvous) owner of ``design``.
+
+    Every participant scores ``H(shard_id | design)`` and the highest
+    score wins — no ring, no state, and removing one id only remaps
+    the designs that id owned.  blake2b keeps the score deterministic
+    across processes and Python versions (unlike ``hash()``).
+    """
+    if not shard_ids:
+        raise ValueError("rendezvous_shard needs at least one shard id")
+    best_id = None
+    best_score = b""
+    for sid in shard_ids:
+        score = hashlib.blake2b(
+            f"{sid}|{design}".encode("utf-8"), digest_size=8
+        ).digest()
+        if best_id is None or score > best_score:
+            best_id, best_score = sid, score
+    return best_id
+
+
+class _FrontRecord:
+    """Front-end bookkeeping for one submitted job."""
+
+    __slots__ = ("job", "ticket", "slot", "shard_ticket", "accepted")
+
+    def __init__(self, job: Job, ticket: JobTicket, slot: int) -> None:
+        self.job = job
+        self.ticket = ticket
+        self.slot = slot
+        self.shard_ticket: Optional[JobTicket] = None
+        self.accepted = False
+
+
+class ShardedService:
+    """K warm shards behind one rendezvous-routed front end.
+
+    ``shard_factory(slot, generation, id_prefix)`` builds one unstarted
+    :class:`SignoffService`; the default factory gives each shard a
+    fresh :class:`WarmStateCache` at ``scale`` plus the default
+    handlers, forwarding ``**shard_kwargs`` (workers, admission, chaos,
+    batching, checkpoint_dir, ...) verbatim.  ``slo`` belongs to the
+    front end only — shards are constructed with ``slo=None``.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        scale: float = 1.0,
+        seed: int = 0,
+        clock: Optional[Callable[[], float]] = None,
+        asleep: Optional[Callable[[float], Any]] = None,
+        slo: Optional[Union[SLOEngine, List[SLObjective], tuple]] = None,
+        shard_factory: Optional[Callable[[int, int, str], SignoffService]] = None,
+        **shard_kwargs: Any,
+    ) -> None:
+        import time
+
+        self.n_shards = max(1, int(shards))
+        self.scale = float(scale)
+        self._seed = int(seed)
+        self._clock = clock or time.monotonic
+        self._asleep = asleep or asyncio.sleep
+        self._shard_kwargs = dict(shard_kwargs)
+        self._factory = shard_factory or self._default_factory
+        if slo is None or isinstance(slo, SLOEngine):
+            self.slo: Optional[SLOEngine] = slo
+            if slo is not None and slo.clock is None:
+                slo.clock = self._clock
+        else:
+            self.slo = SLOEngine(slo, clock=self._clock)
+        self.slo_final: Optional[List[Dict[str, Any]]] = None
+
+        #: Stable HRW slot labels — respawns reuse the label, so the
+        #: design→slot map survives any number of shard deaths.
+        self._slot_ids = [f"shard-{i}" for i in range(self.n_shards)]
+        self._gen = [0] * self.n_shards
+        self._shards: List[Optional[SignoffService]] = [None] * self.n_shards
+        self._records: Dict[str, _FrontRecord] = {}
+        self.results: Dict[str, JobResult] = {}
+
+        # Front-end terminal accounting (per member ticket; shard-side
+        # stats are only mined for fusion/worker counters so a killed
+        # shard's half-done jobs can't skew ``lost``).
+        self.submitted = 0
+        self.accepted = 0
+        self.done = 0
+        self.shed = 0
+        self.quarantined = 0
+        self.stale_served = 0
+        self.redispatched = 0
+        self.shards_killed = 0
+        self.shards_restarted = 0
+        self._dead_stats: List[ServiceStats] = []
+        self._id_seq = 0
+        self._started = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    def _default_factory(self, slot: int, generation: int, id_prefix: str) -> SignoffService:
+        from repro.serve.handlers import default_handlers
+        from repro.serve.state import WarmStateCache
+
+        cache = WarmStateCache(scale=self.scale)
+        return SignoffService(
+            handlers=default_handlers(cache),
+            warm=cache,
+            seed=self._seed + slot,
+            clock=self._clock,
+            asleep=self._asleep,
+            slo=None,
+            id_prefix=id_prefix,
+            **self._shard_kwargs,
+        )
+
+    def _make_shard(self, slot: int) -> SignoffService:
+        gen = self._gen[slot]
+        # Generation in the prefix keeps job ids unique across respawns.
+        prefix = f"s{slot}-job" if gen == 0 else f"s{slot}g{gen}-job"
+        return self._factory(slot, gen, prefix)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ShardedService":
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        for slot in range(self.n_shards):
+            shard = self._make_shard(slot)
+            await shard.start()
+            self._shards[slot] = shard
+        self._started = True
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event("shards_start", shards=self.n_shards)
+        return self
+
+    async def close(self) -> None:
+        if not self._started:
+            return
+        for shard in self._shards:
+            if shard is not None:
+                await shard.close()
+        self._started = False
+        tel = get_telemetry()
+        if self.slo is not None:
+            statuses = self.slo_final = self.slo.evaluate()
+            if tel.enabled:
+                tel.event(
+                    "slo_status", objectives=statuses, firing=self.slo.firing()
+                )
+        if tel.enabled:
+            tel.event(
+                "shards_end",
+                done=self.done,
+                quarantined=self.quarantined,
+                shed=self.shed,
+                lost=self.lost(),
+                redispatched=self.redispatched,
+            )
+
+    async def __aenter__(self) -> "ShardedService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # routing and submission
+    # ------------------------------------------------------------------
+    def shard_for(self, design: str) -> int:
+        """The design's home slot under rendezvous hashing."""
+        return self._slot_ids.index(rendezvous_shard(design, self._slot_ids))
+
+    def submit(
+        self,
+        kind_or_job: Union[str, Job],
+        design: str = "",
+        params: Optional[Dict[str, Any]] = None,
+        **job_fields: Any,
+    ) -> JobTicket:
+        """Route one job to its design's warm shard; front-end ticket."""
+        if not self._started:
+            raise RuntimeError(
+                "service not started; use `async with ShardedService(...)`"
+            )
+        if isinstance(kind_or_job, Job):
+            job = kind_or_job
+        else:
+            job = Job(
+                kind=kind_or_job, design=design, params=dict(params or {}), **job_fields
+            )
+        self._id_seq += 1
+        job.job_id = f"job-{self._id_seq:04d}"
+        job.submitted_t = self._clock()
+        future: asyncio.Future = self._loop.create_future()
+        ticket = JobTicket(job, future)
+        self.submitted += 1
+        record = _FrontRecord(job, ticket, self.shard_for(job.design))
+        self._records[job.job_id] = record
+        self._dispatch(record)
+        return ticket
+
+    def _dispatch(self, record: _FrontRecord) -> None:
+        """(Re)submit a front job to the live shard in its slot."""
+        shard = self._shards[record.slot]
+        job = record.job
+        clone = Job(
+            kind=job.kind,
+            design=job.design,
+            params=dict(job.params),
+            priority=job.priority,
+            deadline_s=job.deadline_s,
+            max_attempts=job.max_attempts,
+        )
+        shard_ticket = shard.submit(clone)
+        record.shard_ticket = shard_ticket
+        if clone.status != REJECTED and not record.accepted:
+            record.accepted = True
+            self.accepted += 1
+        shard_ticket.future.add_done_callback(
+            lambda fut, record=record, st=shard_ticket: self._on_shard_result(
+                record, st, fut
+            )
+        )
+
+    def _on_shard_result(
+        self, record: _FrontRecord, shard_ticket: JobTicket, fut: asyncio.Future
+    ) -> None:
+        if record.shard_ticket is not shard_ticket:
+            # A killed shard's late echo — the job was redispatched.
+            return
+        if record.ticket.future.done():
+            return
+        shard_result: JobResult = fut.result()
+        job = record.job
+        latency = self._clock() - job.submitted_t
+        result = JobResult(
+            job_id=job.job_id,
+            kind=shard_result.kind,
+            design=shard_result.design,
+            ok=shard_result.ok,
+            value=shard_result.value,
+            stale=shard_result.stale,
+            timed_out=shard_result.timed_out,
+            attempts=shard_result.attempts,
+            latency=latency,
+            error=shard_result.error,
+            retry_after=shard_result.retry_after,
+            status=shard_result.status,
+        )
+        job.status = result.status
+        if result.status == REJECTED:
+            self.shed += 1
+            if record.accepted:
+                # A redispatch shed by the replacement shard: the job
+                # is terminally rejected, not accepted-and-lost.
+                record.accepted = False
+                self.accepted -= 1
+        elif result.status == QUARANTINED:
+            self.quarantined += 1
+        else:
+            self.done += 1
+            if result.stale:
+                self.stale_served += 1
+        if self.slo is not None:
+            if result.status == REJECTED:
+                self.slo.observe(result.kind, shed=True)
+            elif result.status == QUARANTINED:
+                self.slo.observe(result.kind, quarantined=True, latency=latency)
+            else:
+                self.slo.observe(
+                    result.kind, latency=latency, ok=True, timed_out=result.timed_out
+                )
+            self.slo.evaluate()
+        self.results[job.job_id] = result
+        record.ticket.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # shard-level faults
+    # ------------------------------------------------------------------
+    async def kill_shard(self, slot: int) -> int:
+        """Kill one shard; respawn it cold and redispatch its jobs.
+
+        Returns the number of redispatched jobs.  The HRW map is a
+        function of the (unchanged) slot labels, so only this slot's
+        designs are affected — and they come back to the same slot,
+        re-warming the replacement's cold cache on first query.
+        """
+        shard = self._shards[slot]
+        self.shards_killed += 1
+        self._dead_stats.append(shard.stats)
+        victims = [
+            r
+            for r in self._records.values()
+            if r.slot == slot and not r.ticket.future.done()
+        ]
+        for record in victims:
+            record.shard_ticket = None  # ignore any late echo
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("serve.shard_deaths")
+            tel.event(
+                "shard_killed",
+                shard=self._slot_ids[slot],
+                generation=self._gen[slot],
+                inflight=len(victims),
+            )
+        await shard.close()
+        self._gen[slot] += 1
+        replacement = self._make_shard(slot)
+        await replacement.start()
+        self._shards[slot] = replacement
+        self.shards_restarted += 1
+        if tel.enabled:
+            tel.count("serve.shard_restarts")
+            tel.event(
+                "shard_restarted",
+                shard=self._slot_ids[slot],
+                generation=self._gen[slot],
+            )
+        for record in victims:
+            self.redispatched += 1
+            if tel.enabled:
+                tel.count("serve.jobs_redispatched")
+                tel.event(
+                    "job_redispatched",
+                    job=record.job.job_id,
+                    job_kind=record.job.kind,
+                    design=record.job.design,
+                    shard=self._slot_ids[slot],
+                )
+            self._dispatch(record)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def lost(self) -> int:
+        """Accepted front tickets with no terminal state (must be 0)."""
+        return self.accepted - self.done - self.quarantined
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregate view: front-end terminal accounting plus fusion /
+        worker / retry counters summed over every shard generation."""
+        agg = ServiceStats(
+            submitted=self.submitted,
+            accepted=self.accepted,
+            done=self.done,
+            stale_served=self.stale_served,
+            shed=self.shed,
+            quarantined=self.quarantined,
+        )
+        for st in self._dead_stats + [
+            s.stats for s in self._shards if s is not None
+        ]:
+            agg.retries += st.retries
+            agg.worker_deaths += st.worker_deaths
+            agg.worker_restarts += st.worker_restarts
+            agg.batches += st.batches
+            agg.fused_jobs += st.fused_jobs
+        return agg
+
+    @property
+    def quarantine(self) -> Dict[str, JobResult]:
+        return {
+            jid: r for jid, r in self.results.items() if r.status == QUARANTINED
+        }
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait until every front ticket resolved (zero-lost await)."""
+        while True:
+            unresolved = [
+                r.ticket.future
+                for r in self._records.values()
+                if not r.ticket.future.done()
+            ]
+            if not unresolved:
+                return
+            await asyncio.gather(*unresolved)
+
+
+__all__ = ["ShardedService", "rendezvous_shard"]

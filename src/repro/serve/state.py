@@ -39,6 +39,7 @@ class DesignWorkspace:
         self.forest = None
         self.engine = None
         self._inc = None
+        self._probe_sta = None
         self._scenario_stas: Dict[Tuple[str, ...], Any] = {}
         self._graph = None
         self._congestion = None
@@ -71,6 +72,27 @@ class DesignWorkspace:
             self.ensure_loaded()
             self._inc = IncrementalSTA(self.netlist, self.forest, engine=self.engine)
         return self._inc
+
+    def probe_sta(self):
+        """The pinned what-if probe engine: a neutral force-batched
+        :class:`~repro.mcmm.sta.ScenarioSTA` whose ``probe_batch`` times
+        K candidate moves in one batched PERT pass.  Serial and fused
+        ``whatif`` handlers both query through this object (K=1 vs K=W),
+        which is what makes fused answers bitwise-equal to unbatched
+        execution (docs/SERVING.md)."""
+        if self._probe_sta is None:
+            from repro.mcmm.scenario import ScenarioSet
+            from repro.mcmm.sta import ScenarioSTA
+
+            self.ensure_loaded()
+            self._probe_sta = ScenarioSTA(
+                self.netlist,
+                self.forest,
+                ScenarioSet.default(),
+                engine=self.engine,
+                force_batched=True,
+            )
+        return self._probe_sta
 
     def scenario_sta(self, corners: Tuple[str, ...], mode: str = "func"):
         """A pinned ScenarioSTA for an MCMM corner set (docs/MCMM.md)."""
@@ -106,6 +128,8 @@ class DesignWorkspace:
         """Drop incremental caches after committed coordinate changes."""
         if self._inc is not None:
             self._inc.invalidate()
+        if self._probe_sta is not None:
+            self._probe_sta.invalidate()
         for sta in self._scenario_stas.values():
             sta.invalidate()
 

@@ -91,6 +91,12 @@ def test_baseline_report_is_committed():
     assert kernels["groute"]["des3"]["speedup"] >= 5.0
     for design, row in kernels["groute"].items():
         assert row["routes_bitwise_equal"] == 1.0, design
+    # Serving-v2 PR: query fusion >= 2x jobs/sec on the des3 burst mix,
+    # with fused per-job results equal to the unfused run everywhere.
+    assert kernels["serve_throughput"]["des3"]["speedup"] >= 2.0
+    for design, row in kernels["serve_throughput"].items():
+        assert row["results_equal"] == 1.0, design
+        assert row["fusion_ratio"] > 0.5, design
 
 
 def test_unknown_kernel_filter_rejected():
