@@ -36,7 +36,7 @@ import dataclasses
 import sys
 import traceback
 
-from repro.experiments import ablation, fig2, fig5, table1, table2, table3, table4
+from repro.experiments import ablation, eco, fig2, fig5, table1, table2, table3, table4
 from repro.experiments.common import ExperimentConfig, set_runtime_defaults
 from repro.experiments.parallel import set_default_jobs
 from repro.obs import Telemetry, setup_logging, telemetry_session
@@ -50,6 +50,7 @@ _ARTIFACTS = {
     "fig2": (fig2.run, fig2.format_result),
     "fig5": (fig5.run, fig5.format_result),
     "ablation": (ablation.run, ablation.format_result),
+    "eco": (eco.run, eco.format_result),
 }
 
 _PROFILES = {
@@ -155,6 +156,28 @@ def main(argv=None) -> int:
         "(see repro.mcmm.PRESET_MODES; default 'func')",
     )
     parser.add_argument(
+        "--eco",
+        action="store_true",
+        help="also run the `eco` closure artifact after the selected "
+        "one(s) (docs/ECO.md)",
+    )
+    parser.add_argument(
+        "--eco-arm",
+        choices=("greedy", "sa", "hybrid"),
+        default=None,
+        metavar="ARM",
+        help="narrow the eco artifact to the Steiner-only reference "
+        "plus ARM (greedy, sa or hybrid; default: compare all three)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the profile's seed (model init, ECO arms); "
+        "ECO verdicts are bitwise-reproducible under a fixed seed",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -182,14 +205,18 @@ def main(argv=None) -> int:
         parser.error(f"usage: python -m repro {args.artifact} [...]")
     setup_logging(args.verbose - args.quiet)
     config = _PROFILES[args.profile]()
-    if args.corners is not None or args.mode is not None:
-        overrides = {}
-        if args.corners is not None:
-            overrides["corners"] = tuple(
-                c.strip() for c in args.corners.split(",") if c.strip()
-            )
-        if args.mode is not None:
-            overrides["mode"] = args.mode
+    overrides = {}
+    if args.corners is not None:
+        overrides["corners"] = tuple(
+            c.strip() for c in args.corners.split(",") if c.strip()
+        )
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.eco_arm is not None:
+        overrides["eco_arms"] = ("steiner", args.eco_arm)
+    if overrides:
         config = dataclasses.replace(config, **overrides)
         try:
             config.scenario_set()  # fail fast on unknown corner/mode names
@@ -204,6 +231,8 @@ def main(argv=None) -> int:
     set_default_jobs(args.jobs)
 
     names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    if args.eco and "eco" not in names:
+        names.append("eco")
     failures = 0
     with contextlib.ExitStack() as stack:
         if args.trace:

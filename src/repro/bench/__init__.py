@@ -31,6 +31,10 @@ a machine-readable report (``BENCH_timing.json``):
 * ``serve_throughput`` — serving-layer jobs/sec on burst traffic:
   query fusion on vs off over the same warm cache, per-job results
   asserted equal (docs/SERVING.md, "Scaling").
+* ``eco_loop`` — ECO candidate validation (docs/ECO.md): a fixed
+  deterministic batch of apply/re-time/revert trials through one warm
+  :class:`~repro.eco.driver.EcoContext` vs a cold context rebuilt per
+  candidate, per-candidate WNS/TNS verdicts asserted bitwise equal.
 
 Every kernel records a *speedup* ratio comparing the fast kernel
 against the reference kernel **on the same workload** — never
@@ -651,6 +655,75 @@ def bench_serve_throughput(
     }
 
 
+def bench_eco_loop(
+    netlist, forest, candidates: int = 8, repeats: int = 3
+) -> Dict[str, float]:
+    """ECO candidate validation: warm EcoContext vs cold rebuild per op.
+
+    The closed-loop driver's hot path is apply → re-time → revert over
+    a ranked candidate list (docs/ECO.md).  This kernel times a fixed
+    deterministic batch of Steiner-nudge candidates on the longest
+    trees — the geometry trials the greedy polish and SA arms issue,
+    which re-time through the pinned scenario STA's dirty-tree
+    incremental path — two ways: through one warm
+    :class:`~repro.eco.driver.EcoContext`, and rebuilding a cold
+    context — engine construction, levelization, first full pass — for
+    every candidate.  The per-candidate (merged WNS, merged TNS)
+    verdicts are asserted **bitwise equal** before any timing is
+    reported; both sides run force-batched over the ``signoff``
+    scenario set.
+    """
+    from repro.eco.driver import EcoContext, evaluate_candidates
+    from repro.eco.ops import NudgeOp
+    from repro.mcmm import ScenarioSet
+
+    scenarios = ScenarioSet.signoff()
+    trees = sorted(
+        (t for t in forest.trees if t.n_steiner > 0),
+        key=lambda t: (-t.wirelength(), t.net_index),
+    )
+    ops = []
+    for tree in trees:
+        if len(ops) >= candidates:
+            break
+        ops.append(NudgeOp(tree.net_index, 2.0, 0.0))
+        if len(ops) < candidates:
+            ops.append(NudgeOp(tree.net_index, 0.0, -2.0))
+    if not ops:
+        raise RuntimeError("design has no nudgeable trees to benchmark")
+
+    warm_ctx = EcoContext(netlist, forest, scenarios)
+    warm_ctx.run()  # prime levelization, flat build, scenario state
+    warm = evaluate_candidates(netlist, forest, ops, context=warm_ctx)
+    cold = [
+        evaluate_candidates(netlist, forest, [op], scenarios=scenarios)[0]
+        for op in ops
+    ]
+    if warm != cold:
+        raise RuntimeError(
+            "warm ECO verdicts diverged bitwise from cold per-candidate rebuilds"
+        )
+
+    def run_warm():
+        evaluate_candidates(netlist, forest, ops, context=warm_ctx)
+
+    def run_cold():
+        for op in ops:
+            evaluate_candidates(netlist, forest, [op], scenarios=scenarios)
+
+    warm_s = _best(run_warm, repeats)
+    cold_s = _best(run_cold, repeats)
+    n = len(ops)
+    return {
+        "candidates": float(n),
+        "scenarios": float(len(scenarios)),
+        "cold_ms_per_op": cold_s / n * 1e3,
+        "warm_ms_per_op": warm_s / n * 1e3,
+        "speedup": cold_s / warm_s,
+        "verdicts_bitwise_equal": 1.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -665,6 +738,7 @@ ALL_KERNELS: Tuple[str, ...] = (
     "evaluator_backward",
     "refine_iter",
     "serve_throughput",
+    "eco_loop",
 )
 
 
@@ -834,6 +908,20 @@ def run_benchmarks(
                 f"fusion ratio {r['fusion_ratio']:.2f}, "
                 f"mean width {r['mean_batch_width']:.2f})"
             )
+        if "eco_loop" in wanted:
+            with tel.span("bench.eco_loop", design=name) as sp:
+                r = bench_eco_loop(netlist, forest, repeats=repeats)
+                sp.annotate(
+                    cold_ms_per_op=r["cold_ms_per_op"],
+                    warm_ms_per_op=r["warm_ms_per_op"],
+                    speedup=r["speedup"],
+                )
+            report["kernels"]["eco_loop"][name] = r
+            log(
+                f"[bench] {name} eco_loop: cold {r['cold_ms_per_op']:.2f} ms/op, "
+                f"warm {r['warm_ms_per_op']:.2f} ms/op  ({r['speedup']:.1f}x; "
+                f"bitwise parity {r['verdicts_bitwise_equal']:.0f})"
+            )
     return report
 
 
@@ -848,6 +936,7 @@ _SPEEDUP_FIELDS = {
     "evaluator_backward": ("speedup",),
     "refine_iter": ("speedup",),
     "serve_throughput": ("speedup",),
+    "eco_loop": ("speedup",),
 }
 
 

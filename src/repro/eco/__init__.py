@@ -1,0 +1,44 @@
+"""Closed-loop ECO engine (docs/ECO.md).
+
+Discrete engineering-change-order optimization on top of the Steiner
+refinement stack: a transform library of typed, reversible ops
+(:mod:`repro.eco.ops`), a greedy/hybrid closed-loop driver
+(:mod:`repro.eco.driver`), and a seeded simulated-annealing baseline
+(:mod:`repro.eco.sa`) over the same op space.
+"""
+
+from repro.eco.ops import (
+    BufferInsertOp,
+    EcoOp,
+    NudgeOp,
+    RerouteOp,
+    ResizeOp,
+    clone_netlist,
+    clone_state,
+    dirty_cone,
+)
+from repro.eco.driver import (
+    EcoConfig,
+    EcoContext,
+    EcoResult,
+    evaluate_candidates,
+    run_eco,
+)
+from repro.eco.sa import run_sa
+
+__all__ = [
+    "BufferInsertOp",
+    "EcoConfig",
+    "EcoContext",
+    "EcoOp",
+    "EcoResult",
+    "NudgeOp",
+    "RerouteOp",
+    "ResizeOp",
+    "clone_netlist",
+    "clone_state",
+    "dirty_cone",
+    "evaluate_candidates",
+    "run_eco",
+    "run_sa",
+]

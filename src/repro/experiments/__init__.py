@@ -8,7 +8,7 @@ regenerating all six artifacts costs one training run, not six.
 """
 
 from repro.experiments.common import ExperimentConfig, ExperimentContext, get_context
-from repro.experiments import table1, table2, table3, table4, fig2, fig5, ablation, sweep
+from repro.experiments import table1, table2, table3, table4, fig2, fig5, ablation, eco, sweep
 
 __all__ = [
     "ExperimentConfig",
@@ -21,5 +21,6 @@ __all__ = [
     "fig2",
     "fig5",
     "ablation",
+    "eco",
     "sweep",
 ]

@@ -57,6 +57,9 @@ class ExperimentConfig:
     # intact: ("typ",) x "func" is the neutral scenario.
     corners: Tuple[str, ...] = ("typ",)
     mode: str = "func"
+    # Arms the `eco` artifact compares (docs/ECO.md); `--eco-arm X`
+    # narrows this to the Steiner-only reference plus X.
+    eco_arms: Tuple[str, ...] = ("steiner", "greedy", "sa", "hybrid")
 
     @staticmethod
     def quick() -> "ExperimentConfig":

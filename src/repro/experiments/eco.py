@@ -1,0 +1,185 @@
+"""ECO closure arms compared per design (docs/ECO.md).
+
+The closed-loop ECO driver has three arms — ``greedy``
+rank-and-validate, the seeded ``sa`` baseline and ``hybrid`` (greedy
+plus Steiner-nudge polish after each accepted discrete op) — and this
+artifact races them against a ``steiner`` reference: the same closed
+loop restricted to geometry ops (re-route + nudge), i.e. what Steiner
+refinement alone can close without touching the netlist.
+
+The table is the reproduction's ECO evidence: violations the
+``steiner`` row leaves open but a discrete arm closes (with buffer
+insertions or resizes in its accepted-op list) are exactly the class
+of sign-off failures that need netlist surgery, not better geometry.
+Every row is deterministic under the config seed — the digest column
+is the accepted-op sequence hash the CI smoke job pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.eco.driver import EcoConfig, EcoResult, run_eco
+from repro.eco.ops import clone_state
+from repro.experiments.common import ExperimentConfig, format_table, get_context
+from repro.obs import get_telemetry
+
+#: Accepted-op descriptions that mutate the netlist (vs pure geometry).
+_DISCRETE_PREFIXES = ("buf ", "resize ")
+
+
+def arm_config(arm: str, seed: int = 0, **overrides) -> EcoConfig:
+    """The :class:`EcoConfig` one experiment arm runs.
+
+    ``steiner`` maps to the hybrid schedule with the op space narrowed
+    to ``("reroute", "nudge")``; the other names pass through.  Keyword
+    overrides replace the experiment's moderate default knobs.
+    """
+    kwargs = dict(
+        arm="hybrid" if arm == "steiner" else arm,
+        seed=seed,
+        max_ops=4,
+        max_rounds=6,
+        trials_per_round=4,
+        top_endpoints=3,
+        sa_steps=30,
+    )
+    if arm == "steiner":
+        kwargs["op_kinds"] = ("reroute", "nudge")
+    kwargs.update(overrides)
+    return EcoConfig(**kwargs)
+
+
+@dataclass
+class EcoArmRow:
+    design: str
+    arm: str
+    accepted: int
+    discrete: int  # accepted buffer insertions + resizes
+    init_wns: float
+    init_violations: int
+    final_wns: float
+    final_tns: float
+    final_violations: int
+    closed: int  # violations closed vs the initial sign-off
+    area_delta: float
+    digest: str
+
+
+@dataclass
+class EcoExperimentResult:
+    seed: int
+    rows: List[EcoArmRow]
+    results: List[EcoResult]
+
+
+def _discrete_accepted(result: EcoResult) -> int:
+    return sum(1 for d in result.accepted if d.startswith(_DISCRETE_PREFIXES))
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    design: Optional[str] = None,
+) -> EcoExperimentResult:
+    """One ECO run per (design, arm) on a cloned state; serial on
+    purpose — each run is already incremental inside, and cloning keeps
+    the context's prepared designs pristine for other artifacts."""
+    ctx = get_context(config)
+    cfg = ctx.config
+    names = [design] if design else list(cfg.designs)
+    scenarios = cfg.scenario_set()
+    rows: List[EcoArmRow] = []
+    results: List[EcoResult] = []
+    for name in names:
+        netlist, forest = ctx.design(name)
+        for arm in cfg.eco_arms:
+            eco_netlist, eco_forest = clone_state(netlist, forest)
+            res = run_eco(
+                eco_netlist,
+                eco_forest,
+                config=arm_config(arm, seed=cfg.seed),
+                scenarios=scenarios,
+                budget=ctx.budget,
+            )
+            res.arm = arm  # label the steiner reference as itself
+            results.append(res)
+            tel = get_telemetry()
+            if tel.enabled:
+                # Same event the flow stage and serve handler emit, so
+                # a traced artifact run renders in the report's ECO
+                # section (one row per design/arm).
+                tel.event(
+                    "eco_report",
+                    design=name,
+                    arm=arm,
+                    accepted=res.num_accepted,
+                    digest=res.digest,
+                    initial_wns=res.initial.get("wns"),
+                    initial_tns=res.initial.get("tns"),
+                    final_wns=res.final.get("wns"),
+                    final_tns=res.final.get("tns"),
+                    area_delta=res.area_delta,
+                )
+            init_v = int(res.initial["violations"])
+            final_v = int(res.final["violations"])
+            rows.append(
+                EcoArmRow(
+                    design=name,
+                    arm=arm,
+                    accepted=res.num_accepted,
+                    discrete=_discrete_accepted(res),
+                    init_wns=float(res.initial["wns"]),
+                    init_violations=init_v,
+                    final_wns=float(res.final["wns"]),
+                    final_tns=float(res.final["tns"]),
+                    final_violations=final_v,
+                    closed=init_v - final_v,
+                    area_delta=res.area_delta,
+                    digest=res.digest,
+                )
+            )
+    return EcoExperimentResult(seed=cfg.seed, rows=rows, results=results)
+
+
+def format_result(result: EcoExperimentResult) -> str:
+    headers = [
+        "Design",
+        "Arm",
+        "Accepted",
+        "Discrete",
+        "Init WNS",
+        "Init viol",
+        "Final WNS",
+        "Final TNS",
+        "Final viol",
+        "Closed",
+        "Area +",
+        "Digest",
+    ]
+    rows = [
+        [
+            r.design,
+            r.arm,
+            r.accepted,
+            r.discrete,
+            r.init_wns,
+            r.init_violations,
+            r.final_wns,
+            r.final_tns,
+            r.final_violations,
+            r.closed,
+            r.area_delta,
+            r.digest,
+        ]
+        for r in result.rows
+    ]
+    return format_table(
+        headers, rows, title=f"ECO closure arms (seed {result.seed}; docs/ECO.md)"
+    )
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import cli_entry
+
+    raise SystemExit(cli_entry(run, format_result))

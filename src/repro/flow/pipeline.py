@@ -31,6 +31,7 @@ from repro.sta.engine import STAEngine, TimingReport
 from repro.sta.hold import HoldReport, run_hold_analysis
 
 if TYPE_CHECKING:
+    from repro.eco.driver import EcoResult
     from repro.mcmm.sta import ScenarioReport
 from repro.steiner.edge_shifting import shift_edges
 from repro.steiner.forest import SteinerForest, build_forest
@@ -61,6 +62,12 @@ class FlowResult:
     # Hold (min-delay) sign-off of the routed design; populated
     # whenever post-route STA succeeds.
     hold_report: Optional[HoldReport] = None
+    # Closed-loop ECO (docs/ECO.md): populated when the flow ran with
+    # ``eco=...``.  The ECO stage operates on a *clone* of the netlist
+    # and forest (pre-route parasitics), so the flow-level routed
+    # wns/tns above are untouched; ``eco.final`` carries the post-ECO
+    # pre-route verdict.
+    eco: Optional["EcoResult"] = None
     # Resilience: per-stage failures recorded by the guarded flow
     # (stage name -> "ExceptionType: message"); a result with entries
     # here is *partial* — unreachable metrics are NaN/zero.
@@ -114,6 +121,7 @@ def run_routing_flow(
     timing_graph=None,
     telemetry=None,
     scenarios=None,
+    eco=None,
 ) -> FlowResult:
     """Route and sign off one design; optionally run TSteiner first.
 
@@ -143,6 +151,12 @@ def run_routing_flow(
     metrics, and the top-level WNS/TNS become the merged ones.  ``None``
     or a one-element neutral set keeps today's single-scenario flow
     bitwise-unchanged.
+
+    ``eco`` (a ``repro.eco.EcoConfig``) appends a guarded closed-loop
+    ECO stage after sign-off: the driver runs on a *clone* of the
+    netlist + refined forest under the same scenario set and its result
+    lands in ``FlowResult.eco`` (docs/ECO.md).  Pre-route parasitics —
+    the routed flow metrics above stay untouched.
     """
     tel = telemetry if telemetry is not None else get_telemetry()
     work = forest.copy()
@@ -271,6 +285,40 @@ def run_routing_flow(
     else:
         stage_errors.setdefault("sta", "skipped: global routing failed")
 
+    eco_result = None
+    if eco is not None:
+        t0 = time.perf_counter()
+        with tel.span("flow.eco", design=netlist.name):
+            try:
+                from repro.eco.driver import run_eco
+                from repro.eco.ops import clone_state
+
+                eco_netlist, eco_forest = clone_state(netlist, work)
+                eco_result = run_eco(
+                    eco_netlist,
+                    eco_forest,
+                    config=eco,
+                    scenarios=scenarios,
+                    budget=budget,
+                )
+                timed_out = timed_out or eco_result.timed_out
+                if tel.enabled:
+                    tel.event(
+                        "eco_report",
+                        design=netlist.name,
+                        arm=eco_result.arm,
+                        accepted=eco_result.num_accepted,
+                        digest=eco_result.digest,
+                        initial_wns=eco_result.initial.get("wns"),
+                        initial_tns=eco_result.initial.get("tns"),
+                        final_wns=eco_result.final.get("wns"),
+                        final_tns=eco_result.final.get("tns"),
+                        area_delta=eco_result.area_delta,
+                    )
+            except Exception as exc:
+                guard("eco", exc)
+        runtimes["eco"] = time.perf_counter() - t0
+
     nan = float("nan")
     if scenario_report is not None:
         top_wns = scenario_report.merged_wns
@@ -292,6 +340,7 @@ def run_routing_flow(
         overflow=route_result.overflow if route_result is not None else 0.0,
         refinement=refinement,
         report=report,
+        eco=eco_result,
         scenario_report=scenario_report,
         hold_report=hold_report,
         route_result=route_result,

@@ -14,6 +14,8 @@ Sections rendered (each only when the trace contains the data):
 * MCMM sign-off — per-scenario and merged WNS/TNS from the flow's
   ``mcmm_report`` events (docs/MCMM.md);
 * hold sign-off — WHS and hold violations from ``hold_report`` events;
+* ECO — accepted-op counts, digests and WNS/TNS deltas from
+  ``eco_report`` events (docs/ECO.md);
 * training — per ``train_evaluator`` invocation;
 * metric registry — counters, gauges and histogram summaries from the
   final ``metrics`` event;
@@ -368,6 +370,33 @@ def render_report(
                 f"{ev.get('violations', 0)} violations over "
                 f"{ev.get('endpoints', 0)} endpoints"
             )
+
+    eco_events = [e for e in events if e.get("kind") == "eco_report"]
+    if eco_events:
+        lines.append("")
+        lines.append("ECO (closed-loop sign-off repair, last run per design/arm)")
+        latest_eco: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
+        for ev in eco_events:
+            key = (str(ev.get("design", "?")), str(ev.get("arm", "?")))
+            latest_eco[key] = ev
+        rows = [
+            [design, ev.get("arm", "?"), ev.get("accepted", 0),
+             float(ev.get("initial_wns") or 0.0),
+             float(ev.get("final_wns") or 0.0),
+             float(ev.get("initial_tns") or 0.0),
+             float(ev.get("final_tns") or 0.0),
+             float(ev.get("area_delta") or 0.0),
+             ev.get("digest", "?")]
+            for (design, _arm), ev in latest_eco.items()
+        ]
+        lines.extend(
+            "  " + ln
+            for ln in _table(
+                ["design", "arm", "ops", "wns0", "wns1", "tns0", "tns1",
+                 "area+", "digest"],
+                rows,
+            )
+        )
 
     serving = summarize_serving(events)
     if serving is not None:

@@ -153,6 +153,38 @@ class CellLibrary:
     def sequential(self) -> List[CellType]:
         return [c for c in self.cells.values() if c.is_sequential]
 
+    def variants_of(self, cell_type: CellType) -> List[CellType]:
+        """Drive-strength variants of ``cell_type``, weakest first.
+
+        Variants share the family prefix (the name up to the ``_X<k>``
+        drive suffix), the pin interface, and sequentiality.  Ordering
+        is by parsed drive suffix then name — never dict iteration
+        order — so resizing ECOs are deterministic across processes.
+        The list always includes ``cell_type`` itself.
+        """
+        family, _ = _split_drive(cell_type.name)
+        out = [
+            c
+            for c in self.cells.values()
+            if _split_drive(c.name)[0] == family
+            and c.is_sequential == cell_type.is_sequential
+            and c.input_pins == cell_type.input_pins
+            and c.output_pins == cell_type.output_pins
+        ]
+        out.sort(key=lambda c: (_split_drive(c.name)[1], c.name))
+        return out
+
+
+def _split_drive(name: str) -> Tuple[str, float]:
+    """``"BUF_X2" -> ("BUF", 2.0)``; no parseable suffix -> drive 0."""
+    head, sep, tail = name.rpartition("_X")
+    if sep:
+        try:
+            return head, float(tail)
+        except ValueError:
+            pass
+    return name, 0.0
+
 
 _SLEW_AXIS = np.array([0.01, 0.05, 0.15, 0.40, 1.00, 2.50])  # ns
 _LOAD_AXIS = np.array([0.001, 0.005, 0.020, 0.060, 0.150, 0.400])  # pF

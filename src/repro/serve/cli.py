@@ -115,6 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
         "N (many concurrent queries, few designs — the fusion workload)",
     )
     parser.add_argument(
+        "--eco",
+        type=float,
+        default=0.0,
+        metavar="W",
+        help="relative traffic weight for eco jobs (default 0: none; "
+        "the other kinds keep the 5/3/1/0 default mix)",
+    )
+    parser.add_argument(
+        "--eco-arm",
+        choices=("greedy", "sa", "hybrid"),
+        default="sa",
+        help="ECO arm eco jobs run (docs/ECO.md; default sa)",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         help="directory for refine/train job checkpoints "
@@ -192,8 +206,10 @@ async def _serve(args, chaos, checkpoint_dir: Path, objectives):
             name.strip() for name in args.designs.split(",") if name.strip()
         ),
         seed=args.seed,
+        mix=(5.0, 3.0, 1.0, 0.0, max(0.0, args.eco)),
         refine_iterations=args.refine_iterations,
         burst_size=max(1, args.burst),
+        eco_arm=args.eco_arm,
     )
     chaos_hooks = None
     if chaos is not None and args.shards > 1:

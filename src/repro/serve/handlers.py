@@ -4,7 +4,7 @@ A handler is ``handler(job, ctx) -> dict`` (sync or async); ``ctx`` is
 the :class:`~repro.serve.service.JobContext` carrying the per-job
 budget, checkpoint path, attempt index and the cooperative
 ``heartbeat`` the chaos harness hooks.  :func:`default_handlers` wires
-the four kinds over one shared :class:`~repro.serve.state.WarmStateCache`.
+the five kinds over one shared :class:`~repro.serve.state.WarmStateCache`.
 
 Durability contract (docs/SERVING.md): ``refine`` and ``train`` jobs
 snapshot through :mod:`repro.runtime.checkpoint` at every iteration /
@@ -31,7 +31,13 @@ import numpy as np
 
 from repro.obs import get_telemetry
 from repro.runtime.errors import CheckpointError
-from repro.serve.jobs import KIND_REFINE, KIND_SIGNOFF, KIND_TRAIN, KIND_WHATIF
+from repro.serve.jobs import (
+    KIND_ECO,
+    KIND_REFINE,
+    KIND_SIGNOFF,
+    KIND_TRAIN,
+    KIND_WHATIF,
+)
 from repro.serve.state import WarmStateCache
 
 
@@ -256,6 +262,74 @@ def _refine(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# eco — closed-loop discrete ECO, committed into the warm state
+# ----------------------------------------------------------------------
+def _eco(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
+    """Run the ECO driver against the warm design state and commit.
+
+    Unlike ``refine`` (coordinates only), an accepted ECO *mutates the
+    netlist* — buffers appear, cells resize, trees are re-routed — so
+    the commit path is ``ws.invalidate(reason="eco", structural=True)``:
+    every pinned STA object and the forest's flat digest are discarded
+    and the engine is rebuilt (docs/ECO.md).  Deterministic under
+    ``params["seed"]``: the accepted-op ``digest`` is what the
+    eco-smoke CI job pins.
+    """
+    from repro.eco.driver import EcoConfig, run_eco
+    from repro.mcmm.scenario import ScenarioSet
+
+    ws = cache.workspace(job.design)
+    ctx.heartbeat()
+    arm = str(job.params.get("arm", "greedy"))
+    cfg = EcoConfig(
+        arm=arm,
+        seed=int(job.params.get("seed", 0)),
+        max_ops=int(job.params.get("max_ops", 4)),
+        max_rounds=int(job.params.get("max_rounds", 6)),
+        trials_per_round=int(job.params.get("trials", 4)),
+        sa_steps=int(job.params.get("steps", 20)),
+    )
+    corners = tuple(job.params.get("corners") or ())
+    scenarios = (
+        ScenarioSet.from_names(corners, modes=(str(job.params.get("mode", "func")),))
+        if corners
+        else None
+    )
+
+    def on_round(_round: int) -> None:
+        ctx.heartbeat()
+
+    result = run_eco(
+        ws.netlist,
+        ws.forest,
+        config=cfg,
+        scenarios=scenarios,
+        budget=ctx.budget,
+        on_round=on_round,
+    )
+    ws.invalidate(reason="eco", structural=True)
+    tel = get_telemetry()
+    if tel.enabled:
+        # Same event the flow stage emits, so `repro report` renders a
+        # serve trace's eco commits in the ECO section too.
+        tel.event(
+            "eco_report",
+            design=job.design,
+            arm=result.arm,
+            accepted=result.num_accepted,
+            digest=result.digest,
+            initial_wns=result.initial.get("wns"),
+            initial_tns=result.initial.get("tns"),
+            final_wns=result.final.get("wns"),
+            final_tns=result.final.get("tns"),
+            area_delta=result.area_delta,
+        )
+    value = result.summary()
+    value["stale"] = False
+    return value
+
+
+# ----------------------------------------------------------------------
 # train — (re)train the shared evaluator; checkpointed per epoch
 # ----------------------------------------------------------------------
 def _train(cache: WarmStateCache, job, ctx) -> Dict[str, Any]:
@@ -354,13 +428,14 @@ _REMOTE_FNS.update(
         KIND_WHATIF: _whatif,
         KIND_SIGNOFF: _signoff,
         KIND_REFINE: _refine,
+        KIND_ECO: _eco,
         KIND_TRAIN: _train,
     }
 )
 
 
 def default_handlers(cache: Optional[WarmStateCache] = None) -> Dict[str, Any]:
-    """The four default handlers bound to one warm cache.
+    """The default handlers (one per job kind) bound to one warm cache.
 
     Each handler carries ``remote``/``payload`` attributes so the
     :class:`~repro.serve.executors.ProcessExecutor` can ship it to a

@@ -1,7 +1,7 @@
 """Typed job model for the sign-off service.
 
 The paper's concurrent sign-off loop is query-shaped — "move this
-Steiner point, re-judge slack" — so the serving layer speaks four job
+Steiner point, re-judge slack" — so the serving layer speaks five job
 kinds, ordered by interactivity:
 
 * ``whatif``   — move one Steiner point, report the slack delta, revert;
@@ -9,6 +9,9 @@ kinds, ordered by interactivity:
   MCMM corners);
 * ``refine``   — run Algorithm 1 for N iterations and commit the
   improved coordinates into the warm design state;
+* ``eco``      — run the closed-loop discrete ECO driver (buffer
+  insertion / resize / re-route, docs/ECO.md) and commit the mutated
+  netlist + forest into the warm design state;
 * ``train``    — (re)train the evaluator the refine jobs consume.
 
 Interactive kinds preempt batch kinds on the priority queue; a job may
@@ -28,14 +31,16 @@ from typing import Any, Dict, List, Optional
 KIND_WHATIF = "whatif"
 KIND_SIGNOFF = "signoff"
 KIND_REFINE = "refine"
+KIND_ECO = "eco"
 KIND_TRAIN = "train"
-JOB_KINDS = (KIND_WHATIF, KIND_SIGNOFF, KIND_REFINE, KIND_TRAIN)
+JOB_KINDS = (KIND_WHATIF, KIND_SIGNOFF, KIND_REFINE, KIND_ECO, KIND_TRAIN)
 
 #: Default queue priority per kind (lower value = served first).
 DEFAULT_PRIORITY = {
     KIND_WHATIF: 0,
     KIND_SIGNOFF: 0,
     KIND_REFINE: 2,
+    KIND_ECO: 2,
     KIND_TRAIN: 3,
 }
 
@@ -139,6 +144,7 @@ __all__ = [
     "Job",
     "JobResult",
     "JobTicket",
+    "KIND_ECO",
     "KIND_REFINE",
     "KIND_SIGNOFF",
     "KIND_TRAIN",

@@ -23,10 +23,14 @@ class TrafficConfig:
     jobs: int = 24
     designs: Sequence[str] = ("spm",)
     seed: int = 0
-    #: relative weights for (whatif, signoff, refine, train)
-    mix: Tuple[float, float, float, float] = (5.0, 3.0, 1.0, 0.0)
+    #: relative weights for (whatif, signoff, refine, train, eco).
+    #: The eco entry may be omitted (legacy 4-tuples keep their exact
+    #: job sequences: a zero-weight kind never changes ``rng.choices``).
+    mix: Tuple[float, ...] = (5.0, 3.0, 1.0, 0.0)
     refine_iterations: int = 4
     train_epochs: int = 2
+    eco_steps: int = 10
+    eco_arm: str = "sa"
     whatif_step: float = 3.0
     #: every burst_every-th job arrives back-to-back with the next one
     #: (no inter-arrival yield), exercising the bounded queue
@@ -79,8 +83,9 @@ class LoadReport:
 def make_jobs(config: TrafficConfig) -> List[Dict[str, Any]]:
     """The deterministic job sequence for a config (pure, no service)."""
     rng = random.Random(config.seed)
-    kinds = ("whatif", "signoff", "refine", "train")
+    kinds = ("whatif", "signoff", "refine", "train", "eco")
     weights = list(config.mix)
+    weights += [0.0] * (len(kinds) - len(weights))
     jobs: List[Dict[str, Any]] = []
     for i in range(config.jobs):
         kind = rng.choices(kinds, weights=weights, k=1)[0]
@@ -102,6 +107,15 @@ def make_jobs(config: TrafficConfig) -> List[Dict[str, Any]]:
             params = {
                 "designs": list(config.designs),
                 "epochs": config.train_epochs,
+            }
+        elif kind == "eco":
+            params = {
+                "arm": config.eco_arm,
+                "seed": config.seed,
+                "steps": config.eco_steps,
+                "max_ops": 2,
+                "max_rounds": 3,
+                "trials": 3,
             }
         jobs.append({"kind": kind, "design": design, "params": params})
     return jobs

@@ -124,14 +124,57 @@ class DesignWorkspace:
         return self._graph
 
     # ------------------------------------------------------------------
+    def invalidate(self, reason: str = "commit", structural: bool = False) -> None:
+        """Drop cached timing state after a committed mutation.
+
+        ``structural=False`` (coordinate-only changes, e.g. a committed
+        ``refine``) resets the incremental caches in place — the
+        engines rebind to the same netlist topology on the next query.
+
+        ``structural=True`` (an ECO mutated cells/pins/nets) goes
+        further: the probe STA, pinned scenario STAs, incremental
+        state, timing graph and congestion map are *discarded* — their
+        engines captured arcs, pin caps and endpoint order at
+        construction — the STA engine is rebuilt against the mutated
+        netlist, and the forest's cached flat digest
+        (``flat_forest_of``) is dropped so the next query re-CSRs the
+        mutated forest.  Every invalidation is counted and traced.
+        """
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("serve.invalidations")
+            tel.event(
+                "workspace_invalidated",
+                design=self.name,
+                reason=reason,
+                structural=bool(structural),
+            )
+        if not structural:
+            if self._inc is not None:
+                self._inc.invalidate()
+            if self._probe_sta is not None:
+                self._probe_sta.invalidate()
+            for sta in self._scenario_stas.values():
+                sta.invalidate()
+            return
+        self._inc = None
+        self._probe_sta = None
+        self._scenario_stas = {}
+        self._graph = None
+        self._congestion = None
+        if self.forest is not None:
+            from repro.sta.flat import _FLAT_CACHE_ATTR
+
+            if hasattr(self.forest, _FLAT_CACHE_ATTR):
+                delattr(self.forest, _FLAT_CACHE_ATTR)
+        if self.netlist is not None:
+            from repro.sta.engine import STAEngine
+
+            self.engine = STAEngine(self.netlist)
+
     def invalidate_timing(self) -> None:
         """Drop incremental caches after committed coordinate changes."""
-        if self._inc is not None:
-            self._inc.invalidate()
-        if self._probe_sta is not None:
-            self._probe_sta.invalidate()
-        for sta in self._scenario_stas.values():
-            sta.invalidate()
+        self.invalidate(reason="coords", structural=False)
 
     def record_signoff(self, summary: Dict[str, Any]) -> None:
         """Remember the last good sign-off answer for degraded serving."""

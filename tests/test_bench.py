@@ -97,6 +97,11 @@ def test_baseline_report_is_committed():
     for design, row in kernels["serve_throughput"].items():
         assert row["results_equal"] == 1.0, design
         assert row["fusion_ratio"] > 0.5, design
+    # ECO PR: warm-context candidate validation >= 3x over cold
+    # per-candidate rebuilds on des3, with bitwise-equal verdicts.
+    assert kernels["eco_loop"]["des3"]["speedup"] >= 3.0
+    for design, row in kernels["eco_loop"].items():
+        assert row["verdicts_bitwise_equal"] == 1.0, design
 
 
 def test_unknown_kernel_filter_rejected():
